@@ -1,0 +1,265 @@
+// Host-time benchmarks: one per paper table/figure, exercising the real
+// code paths at small scale with Go's testing.B harness. These measure
+// wall-clock cost on the host (meaningful for comparing abstraction
+// overheads of the real implementation); the paper-shaped virtual-time
+// series come from cmd/darray-bench (see EXPERIMENTS.md).
+package darray_test
+
+import (
+	"testing"
+
+	"darray"
+	"darray/internal/bcl"
+	"darray/internal/cluster"
+	"darray/internal/core"
+	"darray/internal/engine"
+	"darray/internal/gam"
+	"darray/internal/gemini"
+	"darray/internal/graph"
+	"darray/internal/kvs"
+	"darray/internal/ycsb"
+)
+
+const benchWords = 1 << 14
+
+// benchCluster builds a cluster and per-node arrays, returning node 0's
+// handles for driving from the benchmark goroutine.
+func benchCluster(b *testing.B, nodes int) (*cluster.Cluster, []*core.Array, []*gam.Array, []*bcl.Array) {
+	b.Helper()
+	c := cluster.New(cluster.Config{Nodes: nodes, CacheChunks: 64})
+	b.Cleanup(c.Close)
+	arrs := make([]*core.Array, nodes)
+	gams := make([]*gam.Array, nodes)
+	bcls := make([]*bcl.Array, nodes)
+	c.Run(func(n *cluster.Node) {
+		arrs[n.ID()] = core.New(n, benchWords)
+		arrs[n.ID()].RegisterOp(core.OpAddU64)
+		gams[n.ID()] = gam.New(n, benchWords)
+		bcls[n.ID()] = bcl.New(n, benchWords)
+	})
+	return c, arrs, gams, bcls
+}
+
+// Figure 1: single-machine sequential 8-byte access cost per system.
+func BenchmarkFig01SeqReadNative(b *testing.B) {
+	buf := make([]uint64, benchWords)
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += buf[i&(benchWords-1)]
+	}
+	_ = sink
+}
+
+func BenchmarkFig01SeqReadDArray(b *testing.B) {
+	_, arrs, _, _ := benchCluster(b, 1)
+	ctx := arrs[0].Node().NewCtx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arrs[0].Get(ctx, int64(i&(benchWords-1)))
+	}
+}
+
+func BenchmarkFig01SeqReadDArrayPin(b *testing.B) {
+	_, arrs, _, _ := benchCluster(b, 1)
+	ctx := arrs[0].Node().NewCtx(0)
+	p := arrs[0].PinRead(ctx, 0)
+	lim := p.Limit()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Get(ctx, int64(i)%lim)
+	}
+	b.StopTimer()
+	p.Unpin(ctx)
+}
+
+func BenchmarkFig01SeqReadGAM(b *testing.B) {
+	_, _, gams, _ := benchCluster(b, 1)
+	ctx := gams[0].Inner().Node().NewCtx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gams[0].Get(ctx, int64(i&(benchWords-1)))
+	}
+}
+
+func BenchmarkFig01SeqReadBCL(b *testing.B) {
+	_, _, _, bcls := benchCluster(b, 1)
+	ctx := bcls[0].Node().NewCtx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bcls[0].Get(ctx, int64(i&(benchWords-1)))
+	}
+}
+
+// Figure 12: three nodes, multithreaded sequential Operate.
+func BenchmarkFig12OperateThreads(b *testing.B) {
+	c, arrs, _, _ := benchCluster(b, 3)
+	const threads = 2
+	per := b.N/(3*threads) + 1
+	b.ResetTimer()
+	c.Run(func(n *cluster.Node) {
+		arr := arrs[n.ID()]
+		n.RunThreads(threads, func(ctx *cluster.Ctx) {
+			for k := 0; k < per; k++ {
+				arr.Apply(ctx, 1, int64(k&(benchWords-1)), 1)
+			}
+		})
+	})
+}
+
+// Figure 13: weak-ish scaling sweep at 3 nodes, one driver per node.
+func BenchmarkFig13SeqReadThreeNodes(b *testing.B) {
+	c, arrs, _, _ := benchCluster(b, 3)
+	per := b.N/3 + 1
+	b.ResetTimer()
+	c.Run(func(n *cluster.Node) {
+		arr := arrs[n.ID()]
+		ctx := n.NewCtx(0)
+		lo := int64(n.ID()) * benchWords / 3
+		for k := 0; k < per; k++ {
+			arr.Get(ctx, (lo+int64(k))%benchWords)
+		}
+	})
+}
+
+// Figure 14: zipfian write_add via Operate vs via WLock+Read+Write.
+func BenchmarkFig14ZipfOperate(b *testing.B) {
+	c, arrs, _, _ := benchCluster(b, 2)
+	per := b.N/2 + 1
+	b.ResetTimer()
+	c.Run(func(n *cluster.Node) {
+		arr := arrs[n.ID()]
+		ctx := n.NewCtx(0)
+		z := ycsb.NewZipfian(benchWords, 0.99, int64(n.ID()))
+		for k := 0; k < per; k++ {
+			arr.Apply(ctx, 1, z.Next(), 1)
+		}
+	})
+}
+
+func BenchmarkFig14ZipfLockRW(b *testing.B) {
+	c, arrs, _, _ := benchCluster(b, 2)
+	per := b.N/2 + 1
+	b.ResetTimer()
+	c.Run(func(n *cluster.Node) {
+		arr := arrs[n.ID()]
+		ctx := n.NewCtx(0)
+		z := ycsb.NewZipfian(benchWords, 0.99, int64(n.ID()))
+		for k := 0; k < per; k++ {
+			i := z.Next()
+			arr.WLock(ctx, i)
+			arr.Set(ctx, i, arr.Get(ctx, i)+1)
+			arr.Unlock(ctx, i)
+		}
+	})
+}
+
+// Figure 15: pinned vs plain sequential read (remote partition).
+func BenchmarkFig15RemoteReadPlain(b *testing.B) {
+	_, arrs, _, _ := benchCluster(b, 2)
+	ctx := arrs[0].Node().NewCtx(0)
+	half := int64(benchWords / 2) // node 1's partition
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arrs[0].Get(ctx, half+int64(i)%half)
+	}
+}
+
+func BenchmarkFig15RemoteReadPinned(b *testing.B) {
+	_, arrs, _, _ := benchCluster(b, 2)
+	ctx := arrs[0].Node().NewCtx(0)
+	half := int64(benchWords / 2)
+	cw := arrs[0].ChunkWords()
+	b.ResetTimer()
+	i := int64(0)
+	for i < int64(b.N) {
+		base := half + (i%half)/cw*cw
+		p := arrs[0].PinRead(ctx, base)
+		for j := p.First(); j < p.Limit() && i < int64(b.N); j++ {
+			p.Get(ctx, j)
+			i++
+		}
+		p.Unpin(ctx)
+	}
+}
+
+// Figure 16: one PageRank superstep per iteration on the DArray engine
+// and the Gemini baseline.
+func BenchmarkFig16PageRankDArray(b *testing.B) {
+	g := graph.RMAT(graph.DefaultRMAT(10))
+	c := cluster.New(cluster.Config{Nodes: 2, CacheChunks: 128})
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run(func(n *cluster.Node) {
+			eg := engine.NewGraph(n, g)
+			eg.PageRank(n.NewCtx(0), 1, false)
+		})
+	}
+	b.ReportMetric(float64(g.Edges()), "edges/op")
+}
+
+func BenchmarkFig16PageRankGemini(b *testing.B) {
+	g := graph.RMAT(graph.DefaultRMAT(10))
+	c := cluster.New(cluster.Config{Nodes: 2})
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run(func(n *cluster.Node) {
+			e := gemini.New(n, g)
+			e.PageRank(n.NewCtx(0), 1)
+		})
+	}
+	b.ReportMetric(float64(g.Edges()), "edges/op")
+}
+
+// Figure 17: YCSB ops against the DArray KVS on two nodes.
+func BenchmarkFig17KVSGet(b *testing.B) {
+	c := cluster.New(cluster.Config{Nodes: 2, CacheChunks: 256})
+	defer c.Close()
+	const records = 512
+	stores := make([]*kvs.Store, 2)
+	c.Run(func(n *cluster.Node) {
+		s := kvs.NewDArray(n, kvs.Config{Buckets: 128, ByteWords: 1 << 17})
+		stores[n.ID()] = s
+		ctx := n.NewCtx(0)
+		if n.ID() == 0 {
+			gen := ycsb.NewGenerator(ycsb.Config{Records: records, Seed: 1})
+			for r := int64(0); r < records; r++ {
+				if err := s.Put(ctx, ycsb.Key(r), gen.LoadValue(r)); err != nil {
+					panic(err)
+				}
+			}
+		}
+		c.Barrier(ctx)
+	})
+	ctx := stores[1].Node().NewCtx(0)
+	z := ycsb.NewZipfian(records, 0.99, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stores[1].Get(ctx, ycsb.Key(z.Next())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure 18: uniformly random reads (poor locality).
+func BenchmarkFig18RandomReadDArray(b *testing.B) {
+	_, arrs, _, _ := benchCluster(b, 2)
+	ctx := arrs[0].Node().NewCtx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arrs[0].Get(ctx, ctx.Rng.Int63n(benchWords))
+	}
+}
+
+func BenchmarkFig18RandomReadBCL(b *testing.B) {
+	_, _, _, bcls := benchCluster(b, 2)
+	ctx := bcls[0].Node().NewCtx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bcls[0].Get(ctx, ctx.Rng.Int63n(benchWords))
+	}
+}
+
+var _ = darray.OpAddU64 // the public package is exercised in darray_test.go

@@ -1,0 +1,117 @@
+package darray_test
+
+import (
+	"math"
+	"testing"
+
+	"darray"
+)
+
+// TestPublicAPIQuickstart exercises the whole exported surface the way
+// the README's quickstart does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	c := darray.NewCluster(darray.Config{Nodes: 3})
+	defer c.Close()
+	c.Run(func(n *darray.Node) {
+		arr := darray.New(n, 3*512)
+		add := arr.RegisterOp(darray.OpAddU64)
+		ctx := n.NewCtx(0)
+
+		lo, hi := arr.LocalRange()
+		for i := lo; i < hi; i++ {
+			arr.Set(ctx, i, uint64(i))
+		}
+		c.Barrier(ctx)
+
+		if got := arr.Get(ctx, 100); got != 100 {
+			t.Errorf("Get(100) = %d", got)
+		}
+		for k := 0; k < 10; k++ {
+			arr.Apply(ctx, add, 5, 1)
+		}
+		c.Barrier(ctx)
+		if got := arr.Get(ctx, 5); got != 5+30 {
+			t.Errorf("after applies: %d, want 35", got)
+		}
+
+		arr.WLock(ctx, 9)
+		arr.Set(ctx, 9, arr.Get(ctx, 9)+1)
+		arr.Unlock(ctx, 9)
+		c.Barrier(ctx)
+		if got := arr.Get(ctx, 9); got != 12 {
+			t.Errorf("after locked increments: %d, want 12", got)
+		}
+
+		p := arr.PinRead(ctx, lo)
+		if p.Get(ctx, lo) != uint64(lo) {
+			t.Error("pinned read wrong")
+		}
+		p.Unpin(ctx)
+		c.Barrier(ctx)
+	})
+}
+
+func TestPublicAPIFloatView(t *testing.T) {
+	c := darray.NewCluster(darray.Config{Nodes: 2})
+	defer c.Close()
+	c.Run(func(n *darray.Node) {
+		f := darray.New(n, 1024).AsF64()
+		addF := f.RegisterOp(darray.OpAddF64)
+		ctx := n.NewCtx(0)
+		c.Barrier(ctx)
+		f.Apply(ctx, addF, 3, 0.5)
+		c.Barrier(ctx)
+		if got := f.Get(ctx, 3); math.Abs(got-1.0) > 1e-12 {
+			t.Errorf("f[3] = %v, want 1.0", got)
+		}
+		c.Barrier(ctx)
+	})
+}
+
+func TestPublicAPICustomPartition(t *testing.T) {
+	c := darray.NewCluster(darray.Config{Nodes: 2, ChunkWords: 64})
+	defer c.Close()
+	c.Run(func(n *darray.Node) {
+		arr := darray.New(n, 4*64, darray.Options{PartitionOffset: []int64{0, 64}})
+		lo, hi := arr.LocalRange()
+		if n.ID() == 0 && (lo != 0 || hi != 64) {
+			t.Errorf("node 0 range [%d,%d), want [0,64)", lo, hi)
+		}
+		if n.ID() == 1 && (lo != 64 || hi != 4*64) {
+			t.Errorf("node 1 range [%d,%d), want [64,256)", lo, hi)
+		}
+	})
+}
+
+func TestPublicAPIBuiltinOps(t *testing.T) {
+	cases := []struct {
+		op   darray.Op
+		a, b uint64
+		want uint64
+	}{
+		{darray.OpAddU64, 3, 4, 7},
+		{darray.OpMinU64, 9, 2, 2},
+		{darray.OpMaxU64, 9, 2, 9},
+	}
+	for _, tc := range cases {
+		if got := tc.op.Fn(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", tc.op.Name, tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.op.Fn(tc.a, tc.op.Identity); got != tc.a {
+			t.Errorf("%s identity law broken: op(%d, id) = %d", tc.op.Name, tc.a, got)
+		}
+	}
+	fa := darray.OpAddF64
+	sum := fa.Fn(math.Float64bits(1.5), math.Float64bits(2.25))
+	if math.Float64frombits(sum) != 3.75 {
+		t.Errorf("OpAddF64 = %v", math.Float64frombits(sum))
+	}
+	fm := darray.OpMinF64
+	if math.Float64frombits(fm.Identity) != math.Inf(1) {
+		t.Error("OpMinF64 identity should be +Inf")
+	}
+	fx := darray.OpMaxF64
+	if math.Float64frombits(fx.Identity) != math.Inf(-1) {
+		t.Error("OpMaxF64 identity should be -Inf")
+	}
+}

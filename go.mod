@@ -1,0 +1,3 @@
+module darray
+
+go 1.22

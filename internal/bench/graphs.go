@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"sync"
+
+	"darray/internal/cluster"
+	"darray/internal/engine"
+	"darray/internal/gemini"
+	"darray/internal/graph"
+	"darray/internal/stats"
+)
+
+// Fig16 reproduces Figure 16: running time of PageRank and Connected
+// Components on an R-MAT graph for GAM, DArray, DArray-Pin and Gemini
+// with increasing nodes. Paper input is rMat24; Params.GraphScale picks
+// a container-friendly scale with the same generator and skew.
+func Fig16(p Params) []stats.Table {
+	g := graph.RMAT(graph.DefaultRMAT(p.GraphScale))
+	nodesXs := nodeSweep(p.MaxNodes)
+	apps := []string{"pagerank", "cc"}
+	systems := []string{"gam", "darray", "darray-pin", "gemini"}
+	var out []stats.Table
+	for _, app := range apps {
+		tbl := stats.Table{
+			Title:  "Figure 16 (" + app + "): running time (ms) vs nodes, rmat" + itoa(p.GraphScale),
+			XLabel: "nodes",
+			YFmt:   "%.2f",
+		}
+		for _, n := range nodesXs {
+			tbl.Xs = append(tbl.Xs, itoa(n))
+		}
+		for _, sys := range systems {
+			var ys []float64
+			for _, n := range nodesXs {
+				ys = append(ys, runGraphApp(p, g, sys, app, n)/1e6)
+			}
+			tbl.Series = append(tbl.Series, stats.Series{Label: sys, Ys: ys})
+		}
+		out = append(out, tbl)
+	}
+	return out
+}
+
+// runGraphApp returns the virtual running time (ns) of one application
+// on one system configuration: the max finishing time across nodes.
+func runGraphApp(p Params, g *graph.CSR, system, app string, nodes int) float64 {
+	c := p.cluster(nodes)
+	defer c.Close()
+	var mu sync.Mutex
+	var maxVT int64
+	c.Run(func(n *cluster.Node) {
+		ctx := n.NewCtx(0)
+		switch system {
+		case "gam":
+			eg := engine.NewGamGraph(n, g)
+			switch app {
+			case "pagerank":
+				eg.PageRank(ctx, p.PRIters)
+			case "cc":
+				eg.ConnectedComponents(ctx)
+			}
+		case "darray", "darray-pin":
+			eg := engine.NewGraph(n, g)
+			pin := system == "darray-pin"
+			switch app {
+			case "pagerank":
+				eg.PageRank(ctx, p.PRIters, pin)
+			case "cc":
+				eg.ConnectedComponents(ctx, pin)
+			}
+		case "gemini":
+			e := gemini.New(n, g)
+			switch app {
+			case "pagerank":
+				e.PageRank(ctx, p.PRIters)
+			case "cc":
+				e.ConnectedComponents(ctx)
+			}
+		}
+		mu.Lock()
+		if ctx.Clock.Now() > maxVT {
+			maxVT = ctx.Clock.Now()
+		}
+		mu.Unlock()
+	})
+	return float64(maxVT)
+}
+
+var _ = cluster.Config{} // keep the import stable across edits

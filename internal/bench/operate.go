@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"sync"
+
+	"darray/internal/cluster"
+	"darray/internal/core"
+	"darray/internal/stats"
+	"darray/internal/ycsb"
+)
+
+// Fig14 reproduces Figure 14: zipfian(0.99) write_add over a global
+// array, comparing the Operate interface against the equivalent
+// WLock+Read+Write composition — the experiment that shows why the
+// Operated state's non-exclusive combining matters under contention.
+func Fig14(p Params) []stats.Table {
+	nodesXs := nodeSweep(p.MaxNodes)
+	tput := stats.Table{
+		Title:  "Figure 14a: zipfian write_add throughput (Mops/s) vs nodes",
+		XLabel: "nodes",
+	}
+	lat := stats.Table{
+		Title:  "Figure 14b: zipfian write_add mean latency (ns) vs nodes",
+		XLabel: "nodes",
+		YFmt:   "%.0f",
+	}
+	tail := stats.Table{
+		Title:  "Figure 14b': zipfian write_add p99 latency (ns) vs nodes",
+		XLabel: "nodes",
+		YFmt:   "%.0f",
+	}
+	for _, n := range nodesXs {
+		tput.Xs = append(tput.Xs, itoa(n))
+		lat.Xs = append(lat.Xs, itoa(n))
+		tail.Xs = append(tail.Xs, itoa(n))
+	}
+	for _, mode := range []string{"operate", "lock-rw"} {
+		var tputYs, latYs, tailYs []float64
+		for _, n := range nodesXs {
+			r := runZipfAdd(p, mode, n)
+			tputYs = append(tputYs, r.tput/1e6)
+			latYs = append(latYs, r.mean)
+			tailYs = append(tailYs, float64(r.p99))
+		}
+		tput.Series = append(tput.Series, stats.Series{Label: mode, Ys: tputYs})
+		lat.Series = append(lat.Series, stats.Series{Label: mode, Ys: latYs})
+		tail.Series = append(tail.Series, stats.Series{Label: mode, Ys: tailYs})
+	}
+	return []stats.Table{tput, lat, tail}
+}
+
+type zipfResult struct {
+	tput float64
+	mean float64
+	p99  int64
+}
+
+// runZipfAdd measures zipfian adds with one thread per node: total
+// throughput, mean per-op latency, and the p99 of sampled per-op
+// latencies.
+func runZipfAdd(p Params, mode string, nodes int) zipfResult {
+	c := p.cluster(nodes)
+	defer c.Close()
+	words := p.WordsPerNode * int64(nodes)
+	var mu sync.Mutex
+	var totalOps int64
+	var maxEnd, minStart int64
+	var latSum float64
+	var hist stats.Histogram
+	minStart = 1 << 62
+
+	c.Run(func(n *cluster.Node) {
+		arr := core.New(n, words)
+		add := arr.RegisterOp(core.OpAddU64)
+		ctx := n.NewCtx(0)
+		z := ycsb.NewZipfian(words, 0.99, int64(1000+n.ID()))
+		var samples []int64
+		c.Barrier(ctx)
+		start := ctx.Clock.Now()
+		for k := 0; k < p.ZipfOps; k++ {
+			i := z.Next()
+			opStart := ctx.Clock.Now()
+			switch mode {
+			case "operate":
+				arr.Apply(ctx, add, i, 1)
+			case "lock-rw":
+				arr.WLock(ctx, i)
+				arr.Set(ctx, i, arr.Get(ctx, i)+1)
+				arr.Unlock(ctx, i)
+			}
+			if k%8 == 0 {
+				samples = append(samples, ctx.Clock.Now()-opStart)
+			}
+		}
+		end := ctx.Clock.Now()
+		mu.Lock()
+		totalOps += int64(p.ZipfOps)
+		if end > maxEnd {
+			maxEnd = end
+		}
+		if start < minStart {
+			minStart = start
+		}
+		latSum += float64(end-start) / float64(p.ZipfOps)
+		hist.AddAll(samples)
+		mu.Unlock()
+		c.Barrier(ctx)
+	})
+	return zipfResult{
+		tput: stats.Throughput(totalOps, maxEnd-minStart),
+		mean: latSum / float64(nodes),
+		p99:  hist.Percentile(99),
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active; statistical
+// shape assertions are skipped under it because its ~10x slowdown and
+// altered scheduling distort tiny-scale contention patterns.
+const raceEnabled = true

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"darray/internal/stats"
+)
+
+// Experiment is one reproducible table/figure from the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(p Params) []stats.Table
+}
+
+// Experiments returns the registry, sorted by id.
+func Experiments() []Experiment {
+	exps := []Experiment{
+		{"fig1", "8-byte sequential access latency (single vs distributed)", Fig1},
+		{"fig12", "Sequential R/W/O throughput vs threads (intra-node scalability)", Fig12},
+		{"fig13", "Sequential R/W/O throughput vs nodes (inter-node scalability)", Fig13},
+		{"fig14", "Zipfian write_add: Operate vs WLock+Read+Write", Fig14},
+		{"fig15", "Sequential read: DArray vs DArray-Pin", Fig15},
+		{"fig16", "Graph analytics: PageRank and Connected Components", Fig16},
+		{"fig17", "KVS YCSB throughput: DArray-KVS vs GAM-KVS", Fig17},
+		{"fig18", "Random access latency (poor locality limitation)", Fig18},
+		{"ablation", "Design ablations: prefetch, chunk size, signaling, runtimes", Ablations},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAndPrint executes an experiment and writes its tables to w.
+func RunAndPrint(w io.Writer, e Experiment, p Params) {
+	fmt.Fprintf(w, "## %s — %s\n\n", e.ID, e.Title)
+	for _, t := range e.Run(p) {
+		fmt.Fprintln(w, t.Render())
+	}
+}
+
+// PrintModel dumps the calibrated cost model for the experiment record.
+func PrintModel(w io.Writer, p Params) {
+	m := p.Model
+	if m == nil {
+		fmt.Fprintln(w, "model: none (wall-clock only)")
+		return
+	}
+	fmt.Fprintf(w, "cost model (ns): wire=%d rtt8=%d rpc=%d lock=%d | native=%d getHit=%d setHit=%d applyHit=%d pin=%d gam+=%d bclLocal=%d slowFixed=%d\n",
+		m.Wire, m.RTT8, m.RPCService, m.LockService,
+		m.NativeAccess, m.GetHit, m.SetHit, m.ApplyHit, m.PinAccess,
+		m.GamAccess, m.BclLocal, m.SlowFixed)
+}

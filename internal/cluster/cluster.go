@@ -1,0 +1,326 @@
+// Package cluster provides the SPMD harness the distributed systems in
+// this repository run on: N simulated nodes, each with private memory,
+// per-node runtime goroutines (the paper's runtime layer), dedicated
+// Tx/Rx comm goroutines (the paper's communication layer, §4.5), cyclic
+// barriers, collectives, and per-application-thread contexts carrying a
+// virtual clock and event statistics.
+//
+// On the paper's testbed each node is a separate machine; here nodes are
+// goroutine groups inside one process, connected by internal/fabric. The
+// code paths are the real ones — lock-free queues between layers, a
+// single Tx goroutine per node (which is what reduces queue pairs from
+// n^2*t to n^2*c), Rx routing into per-runtime RPC queues — only the
+// wire is simulated.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"darray/internal/fabric"
+	"darray/internal/vtime"
+)
+
+// Config describes a cluster.
+type Config struct {
+	Nodes          int
+	RuntimeThreads int          // runtime goroutines per node (default 2)
+	Model          *vtime.Model // nil disables virtual-time accounting
+
+	// Cache geometry defaults used by systems built on the cluster.
+	ChunkWords    int     // elements (8-byte words) per chunk; default 512
+	CacheChunks   int     // cache capacity per runtime thread, in chunks; default 1024
+	LowWatermark  float64 // eviction trigger, fraction of free lines; default 0.30
+	HighWatermark float64 // eviction target, fraction of free lines; default 0.50
+	PrefetchAhead int     // chunks prefetched on a sequential miss; default 2
+}
+
+func (c *Config) fill() {
+	if c.Nodes <= 0 {
+		panic("cluster: Nodes must be positive")
+	}
+	if c.RuntimeThreads <= 0 {
+		c.RuntimeThreads = 2
+	}
+	if c.ChunkWords <= 0 {
+		c.ChunkWords = 512
+	}
+	if c.CacheChunks <= 0 {
+		c.CacheChunks = 1024
+	}
+	if c.LowWatermark <= 0 {
+		c.LowWatermark = 0.30
+	}
+	if c.HighWatermark <= 0 {
+		c.HighWatermark = 0.50
+	}
+	if c.PrefetchAhead < 0 {
+		c.PrefetchAhead = 0
+	} else if c.PrefetchAhead == 0 {
+		c.PrefetchAhead = 2
+	}
+}
+
+// Cluster is a set of simulated nodes over one fabric.
+type Cluster struct {
+	cfg   Config
+	fab   *fabric.Fabric
+	nodes []*Node
+
+	bar barrier
+
+	collMu   sync.Mutex
+	collSeq  map[uint64]*collSlot
+	arraySeq uint32
+
+	reduceMu  sync.Mutex
+	reduceAcc float64
+	reduceN   int
+
+	closeOnce sync.Once
+}
+
+// New builds and starts a cluster: fabric, Rx/Tx comm goroutines, and
+// runtime goroutines on every node.
+func New(cfg Config) *Cluster {
+	cfg.fill()
+	c := &Cluster{
+		cfg:     cfg,
+		fab:     fabric.New(fabric.Config{Nodes: cfg.Nodes, Model: cfg.Model}),
+		collSeq: make(map[uint64]*collSlot),
+	}
+	c.bar.parties = cfg.Nodes
+	c.nodes = make([]*Node, cfg.Nodes)
+	for i := range c.nodes {
+		c.nodes[i] = newNode(c, i)
+	}
+	for _, n := range c.nodes {
+		n.start()
+	}
+	return c
+}
+
+// Config returns the cluster's (filled-in) configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Model returns the virtual-time model (may be nil).
+func (c *Cluster) Model() *vtime.Model { return c.cfg.Model }
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Fabric exposes the underlying fabric (for stats and baselines).
+func (c *Cluster) Fabric() *fabric.Fabric { return c.fab }
+
+// Run executes fn once per node, SPMD style, and returns when every
+// node's function has returned.
+func (c *Cluster) Run(fn func(n *Node)) {
+	var wg sync.WaitGroup
+	for _, n := range c.nodes {
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			fn(n)
+		}(n)
+	}
+	wg.Wait()
+}
+
+// Close stops all comm and runtime goroutines. The cluster must be
+// quiescent (no Run in flight).
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		c.fab.Close()
+		for _, n := range c.nodes {
+			n.stopAll()
+		}
+	})
+}
+
+// NextArrayID allocates a cluster-unique id for a distributed object.
+func (c *Cluster) NextArrayID() uint32 {
+	c.collMu.Lock()
+	defer c.collMu.Unlock()
+	c.arraySeq++
+	return c.arraySeq
+}
+
+type collSlot struct {
+	once  sync.Once
+	value any
+	wg    sync.WaitGroup
+	refs  int
+}
+
+// Collective runs factory exactly once across the cluster for the given
+// per-node sequence number and returns its value on every node. All
+// nodes must call Collective in the same order with matching seq values
+// (each Node maintains the counter via Node.NextCollective).
+func (c *Cluster) Collective(seq uint64, factory func() any) any {
+	c.collMu.Lock()
+	slot, ok := c.collSeq[seq]
+	if !ok {
+		slot = &collSlot{}
+		slot.wg.Add(1)
+		c.collSeq[seq] = slot
+	}
+	slot.refs++
+	last := slot.refs == c.cfg.Nodes
+	c.collMu.Unlock()
+
+	slot.once.Do(func() {
+		slot.value = factory()
+		slot.wg.Done()
+	})
+	slot.wg.Wait()
+	v := slot.value
+	if last {
+		c.collMu.Lock()
+		delete(c.collSeq, seq)
+		c.collMu.Unlock()
+	}
+	return v
+}
+
+// barrier is a cyclic sense-reversing barrier that also merges virtual
+// clocks: every participant leaves at max(entry clocks) plus the
+// modelled barrier latency.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	count   int
+	gen     uint64
+	maxVT   [2]int64
+}
+
+// Barrier blocks until every node has arrived. ctx may be nil (no
+// virtual-time merge).
+func (c *Cluster) Barrier(ctx *Ctx) {
+	b := &c.bar
+	b.mu.Lock()
+	if b.cond == nil {
+		b.cond = sync.NewCond(&b.mu)
+	}
+	slot := b.gen & 1
+	if ctx != nil && ctx.Clock.Now() > b.maxVT[slot] {
+		b.maxVT[slot] = ctx.Clock.Now()
+	}
+	b.count++
+	if b.count == b.parties {
+		b.count = 0
+		b.maxVT[1-slot] = 0 // reset the next generation's slot
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		gen := b.gen
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	exit := b.maxVT[slot]
+	b.mu.Unlock()
+	if ctx != nil {
+		ctx.Clock.AdvanceTo(exit)
+		if m := c.cfg.Model; m != nil {
+			// Dissemination barrier: ceil(log2(n)) message rounds.
+			rounds := int64(0)
+			for p := 1; p < c.cfg.Nodes; p *= 2 {
+				rounds++
+			}
+			ctx.Clock.Advance(rounds * m.Wire)
+		}
+	}
+}
+
+// AllReduceSum performs a sum all-reduce of v across nodes (one call per
+// node per round) and returns the global sum to every caller.
+func (c *Cluster) AllReduceSum(ctx *Ctx, v float64) float64 {
+	c.reduceMu.Lock()
+	c.reduceAcc += v
+	c.reduceN++
+	c.reduceMu.Unlock()
+	c.Barrier(ctx)
+	c.reduceMu.Lock()
+	sum := c.reduceAcc
+	c.reduceN--
+	if c.reduceN == 0 {
+		c.reduceAcc = 0
+	}
+	c.reduceMu.Unlock()
+	c.Barrier(ctx)
+	return sum
+}
+
+// Ctx is an application-thread context: the unit the interface layer is
+// called from. It carries the thread's virtual clock, its deterministic
+// RNG, and thread-local event statistics.
+type Ctx struct {
+	Node  *Node
+	TID   int
+	Clock vtime.Clock
+	Rng   *rand.Rand
+	Stats Stats
+
+	resp chan Resp // reusable completion channel for slow-path waits
+}
+
+// Resp is the completion record a runtime goroutine sends back to a
+// blocked application thread: the virtual time the request finished at,
+// plus an optional value.
+type Resp struct {
+	VT  int64
+	Val uint64
+	Err error
+}
+
+// WaitResp blocks until the thread's outstanding slow-path request
+// completes. A Ctx may have at most one outstanding request.
+func (ctx *Ctx) WaitResp() Resp { return <-ctx.resp }
+
+// Complete delivers the completion for ctx's outstanding request; called
+// by runtime goroutines.
+func (ctx *Ctx) Complete(r Resp) { ctx.resp <- r }
+
+// Stats counts the events a thread generated; the benchmark harness
+// aggregates these per figure.
+type Stats struct {
+	Hits       int64 // fast-path accesses
+	Misses     int64 // slow-path requests to the runtime
+	Remote     int64 // protocol round trips initiated on this thread's behalf
+	LockOps    int64
+	Combines   int64 // Operate combines into a local buffer
+	Ops        int64 // total API operations
+	Prefetches int64
+}
+
+// NewCtx creates a thread context on node n.
+func (n *Node) NewCtx(tid int) *Ctx {
+	return &Ctx{
+		Node: n,
+		TID:  tid,
+		Rng:  rand.New(rand.NewSource(int64(n.id)*1_000_003 + int64(tid)*7919 + 1)),
+		resp: make(chan Resp, 1),
+	}
+}
+
+// RunThreads runs fn on t application threads of this node and waits.
+func (n *Node) RunThreads(t int, fn func(ctx *Ctx)) {
+	var wg sync.WaitGroup
+	for i := 0; i < t; i++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			fn(n.NewCtx(tid))
+		}(i)
+	}
+	wg.Wait()
+}
+
+func (c *Cluster) String() string {
+	return fmt.Sprintf("cluster{nodes:%d, runtimes:%d}", c.cfg.Nodes, c.cfg.RuntimeThreads)
+}

@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"darray/internal/fabric"
+	"darray/internal/queue"
+	"darray/internal/vtime"
+)
+
+// Node is one simulated machine: local memory, runtime goroutines, and a
+// Tx/Rx comm pair over the fabric endpoint.
+type Node struct {
+	id  int
+	c   *Cluster
+	ep  *fabric.Endpoint
+	rts []*Runtime
+
+	txq  *queue.MPSC[*fabric.Message]
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	routeMu sync.RWMutex
+	routes  map[uint32]Route
+
+	collSeq atomic.Uint64
+}
+
+// Route decides which runtime thread handles a received protocol message
+// and returns a handler to run on that runtime. Registered per array id.
+type Route struct {
+	// RuntimeOf maps a message to the index of the runtime goroutine
+	// that owns its chunk (must match the sender's placement).
+	RuntimeOf func(m *fabric.Message) int
+	// Handle processes the message on its runtime goroutine.
+	Handle func(rt *Runtime, m *fabric.Message)
+}
+
+func newNode(c *Cluster, id int) *Node {
+	n := &Node{
+		id:     id,
+		c:      c,
+		ep:     c.fab.Endpoint(id),
+		txq:    queue.NewMPSC[*fabric.Message](),
+		stop:   make(chan struct{}),
+		routes: make(map[uint32]Route),
+	}
+	n.rts = make([]*Runtime, c.cfg.RuntimeThreads)
+	for i := range n.rts {
+		n.rts[i] = newRuntime(n, i)
+	}
+	return n
+}
+
+// ID returns the node id.
+func (n *Node) ID() int { return n.id }
+
+// Cluster returns the owning cluster.
+func (n *Node) Cluster() *Cluster { return n.c }
+
+// Endpoint returns the node's fabric endpoint.
+func (n *Node) Endpoint() *fabric.Endpoint { return n.ep }
+
+// Runtime returns runtime goroutine i of this node.
+func (n *Node) Runtime(i int) *Runtime { return n.rts[i] }
+
+// Runtimes returns the number of runtime goroutines.
+func (n *Node) Runtimes() int { return len(n.rts) }
+
+// NextCollective returns this node's next collective sequence number;
+// combined with Cluster.Collective it implements collective creation.
+func (n *Node) NextCollective() uint64 { return n.collSeq.Add(1) }
+
+// Collective runs factory once cluster-wide, in program order.
+func (n *Node) Collective(factory func() any) any {
+	return n.c.Collective(n.NextCollective(), factory)
+}
+
+// RegisterRoute installs the message route for an array id. Must be
+// called on every node before any message with that id can arrive
+// (collective creation guarantees this).
+func (n *Node) RegisterRoute(array uint32, r Route) {
+	n.routeMu.Lock()
+	defer n.routeMu.Unlock()
+	n.routes[array] = r
+}
+
+// Send queues m for transmission by this node's Tx goroutine. m.SendVT
+// must carry the producer's virtual ready time.
+func (n *Node) Send(m *fabric.Message) {
+	m.From = n.id
+	n.txq.Push(m)
+}
+
+func (n *Node) start() {
+	n.wg.Add(2)
+	go n.txLoop()
+	go n.rxLoop()
+	for _, rt := range n.rts {
+		rt.start()
+	}
+}
+
+func (n *Node) stopAll() {
+	close(n.stop)
+	for _, rt := range n.rts {
+		rt.stopRt()
+	}
+	n.wg.Wait()
+}
+
+// txLoop is the dedicated transmit thread (paper §4.5): it drains the
+// RDMA-request queue and posts work requests, applying selective
+// signaling accounting via the model's SendCost, charged as the Tx
+// thread's own serial resource.
+func (n *Node) txLoop() {
+	defer n.wg.Done()
+	var txRes vtime.Resource
+	mdl := n.c.cfg.Model
+	for {
+		m, ok := n.txq.PopWait(n.stop)
+		if !ok {
+			return
+		}
+		if mdl != nil {
+			_, end := txRes.Acquire(m.SendVT, mdl.SendCost())
+			m.SendVT = end
+		}
+		n.ep.Post(m)
+	}
+}
+
+// rxLoop is the dedicated receive thread: it polls the endpoint and
+// delivers RPC messages to the runtime that owns the target chunk.
+func (n *Node) rxLoop() {
+	defer n.wg.Done()
+	for {
+		m, ok := n.ep.PollWait()
+		if !ok {
+			return
+		}
+		n.routeMu.RLock()
+		r, ok := n.routes[m.Array]
+		n.routeMu.RUnlock()
+		if !ok {
+			// A message for an array this node hasn't registered is a
+			// programming error; drop loudly in tests via panic.
+			panic("cluster: message for unregistered array")
+		}
+		rt := n.rts[r.RuntimeOf(m)]
+		rt.rpcq.Push(rpcItem{route: r, msg: m})
+		rt.notify()
+	}
+}
+
+type rpcItem struct {
+	route Route
+	msg   *fabric.Message
+}
+
+// Runtime is one runtime-layer goroutine. It consumes the local-request
+// queue (closures submitted by application threads on this node) and the
+// RPC-message queue (protocol messages from remote nodes), and retries
+// stalled protocol transitions as continuations so a blocked chunk never
+// wedges the queue.
+type Runtime struct {
+	node *Node
+	idx  int
+
+	localq *queue.MPSC[func(rt *Runtime)]
+	rpcq   *queue.MPSC[rpcItem]
+
+	stalled []func(rt *Runtime) bool // retried until they report done
+
+	// Res serializes this runtime's virtual service time.
+	Res vtime.Resource
+
+	// Attach holds per-array runtime-local state (e.g. the DArray cache
+	// region owned by this runtime thread), keyed by array id.
+	Attach map[uint32]any
+
+	parked atomic.Int32
+	wake   chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+func newRuntime(n *Node, idx int) *Runtime {
+	return &Runtime{
+		node:   n,
+		idx:    idx,
+		localq: queue.NewMPSC[func(rt *Runtime)](),
+		rpcq:   queue.NewMPSC[rpcItem](),
+		Attach: make(map[uint32]any),
+		wake:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Node returns the owning node.
+func (rt *Runtime) Node() *Node { return rt.node }
+
+// Index returns this runtime's index within its node.
+func (rt *Runtime) Index() int { return rt.idx }
+
+// Submit enqueues a local request for this runtime (the paper's
+// local-request queue) and wakes it.
+func (rt *Runtime) Submit(fn func(rt *Runtime)) {
+	rt.localq.Push(fn)
+	rt.notify()
+}
+
+// Stall registers a continuation to be retried by the runtime loop until
+// it returns true. Must only be called from this runtime's goroutine.
+func (rt *Runtime) Stall(fn func(rt *Runtime) bool) {
+	rt.stalled = append(rt.stalled, fn)
+}
+
+func (rt *Runtime) notify() {
+	if rt.parked.Load() == 1 && rt.parked.CompareAndSwap(1, 0) {
+		rt.wake <- struct{}{}
+	}
+}
+
+func (rt *Runtime) start() { go rt.loop() }
+
+func (rt *Runtime) stopRt() {
+	close(rt.stop)
+	rt.notify()
+	<-rt.done
+}
+
+func (rt *Runtime) loop() {
+	defer close(rt.done)
+	for {
+		progress := false
+		for i := 0; i < 64; i++ {
+			fn, ok := rt.localq.Pop()
+			if !ok {
+				break
+			}
+			fn(rt)
+			progress = true
+		}
+		for i := 0; i < 64; i++ {
+			it, ok := rt.rpcq.Pop()
+			if !ok {
+				break
+			}
+			it.route.Handle(rt, it.msg)
+			progress = true
+		}
+		if len(rt.stalled) > 0 {
+			kept := rt.stalled[:0]
+			for _, fn := range rt.stalled {
+				if !fn(rt) {
+					kept = append(kept, fn)
+				} else {
+					progress = true
+				}
+			}
+			rt.stalled = kept
+		}
+		if progress {
+			continue
+		}
+		select {
+		case <-rt.stop:
+			return
+		default:
+		}
+		if len(rt.stalled) > 0 {
+			// Stalled continuations wait on app-thread refcounts; yield
+			// so those threads can run on this core.
+			runtime.Gosched()
+			continue
+		}
+		rt.parked.Store(1)
+		if !rt.localq.Empty() || !rt.rpcq.Empty() {
+			if !rt.parked.CompareAndSwap(1, 0) {
+				<-rt.wake
+			}
+			continue
+		}
+		select {
+		case <-rt.wake:
+		case <-rt.stop:
+			return
+		}
+	}
+}

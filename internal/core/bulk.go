@@ -1,0 +1,91 @@
+package core
+
+import (
+	"darray/internal/cluster"
+)
+
+// Bulk transfers: chunk-wise ranged reads and writes. Internally each
+// covered chunk is pinned once, so a bulk operation costs one reference
+// acquisition per chunk instead of per element — the natural companion
+// to the Pin interface for dense transfers (and the access pattern GAM
+// was designed around, cf. §2).
+
+// GetRange copies elements [i, i+len(dst)) into dst.
+func (a *Array) GetRange(ctx *cluster.Ctx, i int64, dst []uint64) {
+	for len(dst) > 0 {
+		p := a.PinRead(ctx, i)
+		n := p.Limit() - i
+		if n > int64(len(dst)) {
+			n = int64(len(dst))
+		}
+		base := i - p.First()
+		copy(dst[:n], p.d.data[base:base+n])
+		if m := a.model; m != nil {
+			ctx.Clock.Advance(m.CopyCost(int(8 * n)))
+		}
+		ctx.Stats.Ops++
+		p.Unpin(ctx)
+		dst = dst[n:]
+		i += n
+	}
+}
+
+// SetRange copies src into elements [i, i+len(src)).
+func (a *Array) SetRange(ctx *cluster.Ctx, i int64, src []uint64) {
+	for len(src) > 0 {
+		p := a.PinWrite(ctx, i)
+		n := p.Limit() - i
+		if n > int64(len(src)) {
+			n = int64(len(src))
+		}
+		base := i - p.First()
+		copy(p.d.data[base:base+n], src[:n])
+		if m := a.model; m != nil {
+			ctx.Clock.Advance(m.CopyCost(int(8 * n)))
+		}
+		ctx.Stats.Ops++
+		p.Unpin(ctx)
+		src = src[n:]
+		i += n
+	}
+}
+
+// ApplyRange combines src[k] into element i+k for every k under the
+// registered operator — a bulk Operate.
+func (a *Array) ApplyRange(ctx *cluster.Ctx, op OpID, i int64, src []uint64) {
+	for len(src) > 0 {
+		p := a.PinOperate(ctx, i, op)
+		n := p.Limit() - i
+		if n > int64(len(src)) {
+			n = int64(len(src))
+		}
+		for k := int64(0); k < n; k++ {
+			p.Apply(ctx, i+k, src[k])
+		}
+		p.Unpin(ctx)
+		src = src[n:]
+		i += n
+	}
+}
+
+// Reduce folds the whole array through the registered operator on the
+// calling thread (chunk-pinned reads) and returns the result, starting
+// from the operator's identity. It is a read-side convenience, not a
+// collective: each caller scans the full array.
+func (a *Array) Reduce(ctx *cluster.Ctx, op OpID) uint64 {
+	o := a.op(op)
+	acc := o.Identity
+	buf := make([]uint64, a.sh.chunkWords)
+	for i := int64(0); i < a.sh.n; {
+		n := a.sh.chunkWords
+		if i+n > a.sh.n {
+			n = a.sh.n - i
+		}
+		a.GetRange(ctx, i, buf[:n])
+		for _, v := range buf[:n] {
+			acc = o.Fn(acc, v)
+		}
+		i += n
+	}
+	return acc
+}

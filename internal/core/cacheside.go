@@ -1,0 +1,270 @@
+package core
+
+import (
+	"darray/internal/cluster"
+	"darray/internal/fabric"
+)
+
+// ---------------------------------------------------------------------------
+// Cache side: a non-home node's view of a chunk.
+
+// cacheRequest queues a local slow-path waiter and sends a request to
+// the chunk's home if none is outstanding.
+func (a *Array) cacheRequest(rt *cluster.Runtime, d *dentry, w *waiter) {
+	d.waiters = append(d.waiters, w)
+	if d.pending || d.busy {
+		return // outstanding grant or eviction completes first
+	}
+	a.issueRequest(rt, d)
+}
+
+// issueRequest sends the protocol request matching the first waiter's
+// need and, for sequential read misses, issues prefetches (paper §4.2:
+// prefetch lives in the slow path so it never taxes the fast path).
+func (a *Array) issueRequest(rt *cluster.Runtime, d *dentry) {
+	w := d.waiters[0]
+	home := a.homeOfChunk(d.ci)
+	d.pending = true
+	var kind uint8
+	switch wantPerm(w.want) {
+	case permRead:
+		kind = msgReadReq
+	case permRW:
+		kind = msgWriteReq
+	default:
+		kind = msgOperateReq
+	}
+	a.send(&fMsg{to: home, kind: kind, chunk: d.ci, op: w.op, vt: maxi64(w.vt, d.tvt)})
+	if kind == msgReadReq {
+		a.prefetch(d.ci, w.vt)
+	}
+}
+
+// prefetch requests the next few chunks after ci if they are remote and
+// absent. The submissions go to the runtimes owning those chunks.
+func (a *Array) prefetch(ci int64, vt int64) {
+	ahead := a.node.Cluster().Config().PrefetchAhead
+	for k := int64(1); k <= int64(ahead); k++ {
+		cj := ci + k
+		if cj >= a.sh.nChunks {
+			return
+		}
+		if a.homeOfChunk(cj) == a.self() {
+			continue
+		}
+		dj := &a.dents[cj]
+		a.rtOf(cj).Submit(func(rt *cluster.Runtime) {
+			if dj.pending || dj.busy || statePerm(dj.state.Load()) != permInvalid {
+				return
+			}
+			dj.pending = true
+			a.Metrics.Prefetches.Add(1)
+			a.send(&fMsg{to: a.homeOfChunk(cj), kind: msgReadReq, chunk: cj,
+				vt: maxi64(vt, dj.tvt)})
+		})
+	}
+}
+
+// withLine runs cont once d has a backing cache line, allocating one
+// (and stalling on reclamation) if necessary.
+func (a *Array) withLine(rt *cluster.Runtime, d *dentry, cont func(rt *cluster.Runtime)) {
+	if d.line != nil {
+		cont(rt)
+		return
+	}
+	s := a.rstate(rt)
+	if ln := s.allocLine(); ln != nil {
+		a.adoptLine(d, ln)
+		cont(rt)
+		return
+	}
+	rt.Stall(func(rt *cluster.Runtime) bool {
+		ln := s.allocLine()
+		if ln == nil {
+			return false
+		}
+		a.adoptLine(d, ln)
+		cont(rt)
+		return true
+	})
+}
+
+func (a *Array) adoptLine(d *dentry, ln *cacheLine) {
+	ln.owner = d
+	d.line = ln
+	d.data = ln.data
+}
+
+// handleDataResp installs a granted chunk copy (Read or RW permission)
+// and wakes the local waiters. When the grant upgrades a live Shared
+// line (the home excludes the requester from invalidation), active
+// readers are drained before the line is overwritten.
+func (a *Array) handleDataResp(rt *cluster.Runtime, d *dentry, m *fabric.Message, svt int64) {
+	perm := uint32(m.Val)
+	fill := svt + a.copyCost(len(m.Data))
+	a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
+		a.withLine(rt, d, func(rt *cluster.Runtime) {
+			copy(d.data, m.Data)
+			d.state.Store(perm)
+			d.pending = false
+			d.tvt = maxi64(d.tvt, fill)
+			a.Metrics.Fills.Add(1)
+			a.completeWaiters(rt, d)
+		})
+	})
+}
+
+// handleOpGrant installs an Operated combine buffer initialized to the
+// operator's identity, draining any readers of a prior Shared copy
+// first.
+func (a *Array) handleOpGrant(rt *cluster.Runtime, d *dentry, m *fabric.Message, svt int64) {
+	op := a.op(OpID(m.OpID))
+	a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
+		a.withLine(rt, d, func(rt *cluster.Runtime) {
+			id := op.Identity
+			for i := range d.data {
+				d.data[i] = id
+			}
+			d.state.Store(packState(permOperated, OpID(m.OpID)))
+			d.pending = false
+			d.tvt = maxi64(d.tvt, svt)
+			a.completeWaiters(rt, d)
+		})
+	})
+}
+
+// completeWaiters responds to every waiter the new state satisfies and
+// re-issues a request for the strongest remaining need, if any.
+func (a *Array) completeWaiters(rt *cluster.Runtime, d *dentry) {
+	st := d.state.Load()
+	kept := d.waiters[:0]
+	for _, w := range d.waiters {
+		if satisfies(st, w.want, w.op) {
+			a.respond(rt, d, w, d.tvt)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	for i := len(kept); i < len(d.waiters); i++ {
+		d.waiters[i] = nil
+	}
+	d.waiters = kept
+	if len(d.waiters) == 0 {
+		d.waiters = nil
+		return
+	}
+	if !d.pending && !d.busy {
+		a.issueRequest(rt, d)
+	}
+}
+
+// handleInvalidate drops a Shared copy (home is granting someone
+// exclusive or Operated access). Invalidations are idempotent: a line
+// already gone (silent eviction, concurrent demotion) just acks.
+func (a *Array) handleInvalidate(rt *cluster.Runtime, d *dentry, m *fabric.Message, svt int64) {
+	a.Metrics.Invals.Add(1)
+	home := a.homeOfChunk(d.ci)
+	if d.busy {
+		// Evicting: the line dies anyway; ack once it has.
+		d.defrd = append(d.defrd, deferredReq{from: m.From, want: defInvalidate, vt: svt})
+		return
+	}
+	if d.line == nil || statePerm(d.state.Load()) != permRead {
+		a.send(&fMsg{to: home, kind: msgInvAck, chunk: d.ci, vt: svt})
+		return
+	}
+	d.busy = true
+	d.tvt = maxi64(d.tvt, svt)
+	a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
+		a.releaseLine(rt, d)
+		d.busy = false
+		a.send(&fMsg{to: home, kind: msgInvAck, chunk: d.ci, vt: d.tvt})
+		a.drainDeferred(rt, d, d.ci)
+	})
+}
+
+// handleDowngrade writes a Dirty chunk back but keeps a Shared copy
+// (home is serving another node's read).
+func (a *Array) handleDowngrade(rt *cluster.Runtime, d *dentry, svt int64) {
+	home := a.homeOfChunk(d.ci)
+	if d.busy {
+		d.defrd = append(d.defrd, deferredReq{want: defDowngrade, vt: svt})
+		return
+	}
+	if d.line == nil || statePerm(d.state.Load()) != permRW {
+		return // voluntary writeback already in flight covers this
+	}
+	d.busy = true
+	d.tvt = maxi64(d.tvt, svt)
+	a.demoteLocal(rt, d, permRead, func(rt *cluster.Runtime) {
+		data := make([]uint64, len(d.data))
+		copy(data, d.data)
+		a.Metrics.WriteBacks.Add(1)
+		d.busy = false
+		a.send(&fMsg{to: home, kind: msgWBData, chunk: d.ci, data: data,
+			vt: d.tvt + a.copyCost(len(data))})
+		a.drainDeferred(rt, d, d.ci)
+	})
+}
+
+// handleRecall writes a Dirty chunk back and invalidates it.
+func (a *Array) handleRecall(rt *cluster.Runtime, d *dentry, svt int64) {
+	home := a.homeOfChunk(d.ci)
+	if d.busy {
+		d.defrd = append(d.defrd, deferredReq{want: defRecall, vt: svt})
+		return
+	}
+	if d.line == nil || statePerm(d.state.Load()) != permRW {
+		return // voluntary writeback in flight
+	}
+	d.busy = true
+	d.tvt = maxi64(d.tvt, svt)
+	a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
+		data := make([]uint64, len(d.data))
+		copy(data, d.data)
+		a.Metrics.WriteBacks.Add(1)
+		a.releaseLine(rt, d)
+		d.busy = false
+		a.send(&fMsg{to: home, kind: msgWBData, chunk: d.ci, data: data,
+			vt: d.tvt + a.copyCost(len(data))})
+		a.drainDeferred(rt, d, d.ci)
+	})
+}
+
+// handleOpRecall flushes the combined-operand buffer to home and
+// invalidates the chunk (home is collapsing the Operated state).
+func (a *Array) handleOpRecall(rt *cluster.Runtime, d *dentry, svt int64) {
+	home := a.homeOfChunk(d.ci)
+	if d.busy {
+		d.defrd = append(d.defrd, deferredReq{want: defOpRecall, vt: svt})
+		return
+	}
+	st := d.state.Load()
+	if d.line == nil || statePerm(st) != permOperated {
+		return // voluntary flush in flight
+	}
+	op := stateOp(st)
+	d.busy = true
+	d.tvt = maxi64(d.tvt, svt)
+	a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
+		data := make([]uint64, len(d.data))
+		copy(data, d.data)
+		a.Metrics.OpFlushes.Add(1)
+		a.releaseLine(rt, d)
+		d.busy = false
+		a.send(&fMsg{to: home, kind: msgOpFlush, chunk: d.ci, op: op, data: data,
+			vt: d.tvt + a.copyCost(len(data))})
+		a.drainDeferred(rt, d, d.ci)
+	})
+}
+
+// releaseLine detaches and frees d's cache line.
+func (a *Array) releaseLine(rt *cluster.Runtime, d *dentry) {
+	if d.line == nil {
+		return
+	}
+	s := a.rstate(rt)
+	s.freeLine(d.line)
+	d.line = nil
+	d.data = nil
+}

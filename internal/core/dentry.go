@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"darray/internal/cluster"
+)
+
+// Local access-permission states, stored in the low bits of dentry.state.
+// For Operated, the active operator id is packed into the high bits so
+// the Apply fast path reads permission and operator with one atomic load.
+const (
+	permInvalid  uint32 = 0
+	permRead     uint32 = 1
+	permRW       uint32 = 2
+	permOperated uint32 = 3
+
+	permMask uint32 = 0x3
+	opShift         = 8
+)
+
+func packState(perm uint32, op OpID) uint32 { return perm | uint32(op)<<opShift }
+func statePerm(s uint32) uint32             { return s & permMask }
+func stateOp(s uint32) OpID                 { return OpID(s >> opShift) }
+
+// Home-directory states (paper Table 1), meaningful only at the chunk's
+// home node and only touched by its owning runtime goroutine.
+const (
+	dirUnshared uint8 = iota
+	dirShared
+	dirDirty
+	dirOperated
+)
+
+// What a slow-path request needs.
+const (
+	wantRead uint8 = iota
+	wantWrite
+	wantOperate
+	wantPinRead
+	wantPinWrite
+	wantPinOperate
+)
+
+func wantPerm(w uint8) uint32 {
+	switch w {
+	case wantRead, wantPinRead:
+		return permRead
+	case wantWrite, wantPinWrite:
+		return permRW
+	default:
+		return permOperated
+	}
+}
+
+func isPin(w uint8) bool { return w >= wantPinRead }
+
+// baseWant maps pin variants to their underlying need; the directory
+// state machine only distinguishes read/write/operate, pin-ness matters
+// solely at completion time (the runtime takes the reference).
+func baseWant(w uint8) uint8 {
+	switch w {
+	case wantPinRead:
+		return wantRead
+	case wantPinWrite:
+		return wantWrite
+	case wantPinOperate:
+		return wantOperate
+	}
+	return w
+}
+
+// satisfies reports whether local state s fulfils want w with operator op.
+// RW satisfies everything on the home node (an Unshared chunk may be
+// read, written, and operated directly).
+func satisfies(s uint32, w uint8, op OpID) bool {
+	p := statePerm(s)
+	switch wantPerm(w) {
+	case permRead:
+		return p == permRead || p == permRW
+	case permRW:
+		return p == permRW
+	default:
+		return p == permRW || (p == permOperated && stateOp(s) == op)
+	}
+}
+
+// waiter is one blocked slow-path request from an application thread.
+type waiter struct {
+	ctx  *cluster.Ctx
+	want uint8
+	op   OpID
+	vt   int64 // requester's virtual time at submission
+}
+
+// dentry is one directory entry: the per-node metadata for one global
+// chunk. The three atomic fields implement the lock-free data access
+// path of paper Figure 4/5; everything below them is owned by the one
+// runtime goroutine responsible for this chunk on this node.
+type dentry struct {
+	state  atomic.Uint32
+	delay  atomic.Bool
+	refcnt atomic.Int64
+
+	ci   int64    // this dentry's global chunk index
+	data []uint64 // resident words: home subarray slice or cache line
+
+	// Runtime-owned (single runtime goroutine per chunk per node).
+	busy    bool                                               // a protocol transition (or eviction) is in flight
+	pending bool                                               // cache side: a request to home is outstanding
+	tvt     int64                                              // virtual time the transition has reached
+	waiters []*waiter                                          // local slow-path waiters
+	defrd   []deferredReq                                      // requests deferred while busy
+	line    *cacheLine                                         // backing cache line (nil at home / not resident)
+	onWB    func(rt *cluster.Runtime, data []uint64, vt int64) // recall continuation
+	onAcks  func(rt *cluster.Runtime)                          // invalidation-ack continuation
+	acks    int
+	opAcks  int
+	onOpAll func(rt *cluster.Runtime) // operand-recall continuation
+
+	// Home-directory fields (valid only at the home node).
+	dstate  uint8
+	sharers uint64 // bitmask of non-home nodes with a Shared copy
+	owner   int32  // node holding the chunk Dirty (when dstate==dirDirty)
+	opID    OpID   // active operator (when dstate==dirOperated)
+	opNodes uint64 // bitmask of non-home nodes combining operands
+}
+
+type deferredReq struct {
+	from int   // requesting node (== home id for local requests)
+	want uint8 // wantRead/wantWrite/wantOperate (pin variants local only)
+	op   OpID
+	vt   int64
+	w    *waiter // non-nil for local requests
+}

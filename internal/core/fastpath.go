@@ -1,0 +1,119 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"darray/internal/cluster"
+)
+
+// Get reads element i (paper Figure 4). The fast path costs one atomic
+// read of the delay flag, two atomic refcnt updates, and a few branches;
+// when the chunk is not readable locally the request goes to the runtime
+// via the local-request queue and the thread blocks until it is filled.
+func (a *Array) Get(ctx *cluster.Ctx, i int64) uint64 {
+	ci, off := a.locate(i)
+	d := &a.dents[ci]
+	ctx.Stats.Ops++
+	if m := a.model; m != nil {
+		ctx.Clock.Advance(m.GetHit)
+	}
+	for {
+		for d.delay.Load() { // prevent runtime starvation
+			runtime.Gosched()
+		}
+		d.refcnt.Add(1) // hold a reference
+		st := d.state.Load()
+		if p := statePerm(st); p == permRead || p == permRW {
+			v := d.data[off]
+			d.refcnt.Add(-1) // release the reference
+			ctx.Stats.Hits++
+			return v
+		}
+		d.refcnt.Add(-1)
+		a.slowPath(ctx, d, ci, wantRead, 0)
+	}
+}
+
+// Set writes element i. It requires exclusive (RW) permission; like a
+// native array, concurrent unsynchronized Set/Get of the same element by
+// different application threads is the application's race to manage.
+func (a *Array) Set(ctx *cluster.Ctx, i int64, v uint64) {
+	ci, off := a.locate(i)
+	d := &a.dents[ci]
+	ctx.Stats.Ops++
+	if m := a.model; m != nil {
+		ctx.Clock.Advance(m.SetHit)
+	}
+	for {
+		for d.delay.Load() {
+			runtime.Gosched()
+		}
+		d.refcnt.Add(1)
+		st := d.state.Load()
+		if statePerm(st) == permRW {
+			d.data[off] = v
+			d.refcnt.Add(-1)
+			ctx.Stats.Hits++
+			return
+		}
+		d.refcnt.Add(-1)
+		a.slowPath(ctx, d, ci, wantWrite, 0)
+	}
+}
+
+// Apply performs val[i] = op(val[i], operand) with Operate semantics
+// (paper §4.3): on a chunk in the Operated state the operand is combined
+// into the node's local combine buffer with a CAS loop, so any number of
+// threads on any number of nodes proceed concurrently; the home node
+// merges combined buffers when the chunk is read, written, or evicted.
+// A home-node thread holding Unshared (RW) permission applies directly.
+func (a *Array) Apply(ctx *cluster.Ctx, op OpID, i int64, operand uint64) {
+	ci, off := a.locate(i)
+	d := &a.dents[ci]
+	fn := a.op(op).Fn
+	ctx.Stats.Ops++
+	if m := a.model; m != nil {
+		ctx.Clock.Advance(m.ApplyHit)
+	}
+	for {
+		for d.delay.Load() {
+			runtime.Gosched()
+		}
+		d.refcnt.Add(1)
+		st := d.state.Load()
+		if p := statePerm(st); p == permRW || (p == permOperated && stateOp(st) == op) {
+			addr := &d.data[off]
+			for {
+				old := atomic.LoadUint64(addr)
+				if atomic.CompareAndSwapUint64(addr, old, fn(old, operand)) {
+					break
+				}
+			}
+			d.refcnt.Add(-1)
+			ctx.Stats.Hits++
+			ctx.Stats.Combines++
+			return
+		}
+		d.refcnt.Add(-1)
+		a.slowPath(ctx, d, ci, wantOperate, op)
+	}
+}
+
+// slowPath submits a request to the runtime owning chunk ci and blocks
+// until the runtime reports a state change, then the caller retries its
+// fast path. The response carries the virtual completion time.
+func (a *Array) slowPath(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, op OpID) {
+	ctx.Stats.Misses++
+	vt := ctx.Clock.Now()
+	if m := a.model; m != nil {
+		vt += m.SlowFixed
+	}
+	rt := a.rtOf(ci)
+	w := &waiter{ctx: ctx, want: want, op: op, vt: vt}
+	rt.Submit(func(rt *cluster.Runtime) {
+		a.handleLocal(rt, d, ci, w)
+	})
+	resp := ctx.WaitResp()
+	ctx.Clock.AdvanceTo(resp.VT)
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"darray/internal/cluster"
+)
+
+// TestProtocolFuzzSeeds drives randomized mixed workloads across many
+// seeds and cluster shapes, checking an oracle and the cross-node
+// coherence invariants after every phase. The long matrix is trimmed
+// under -short.
+func TestProtocolFuzzSeeds(t *testing.T) {
+	type shape struct {
+		nodes, runtimes, cache int
+	}
+	shapes := []shape{
+		{2, 2, 8},
+		{3, 1, 6},
+		{4, 3, 5},
+	}
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		shapes = shapes[:1]
+		seeds = seeds[:2]
+	}
+	for _, sh := range shapes {
+		for _, seed := range seeds {
+			sh, seed := sh, seed
+			t.Run(fmt.Sprintf("n%d_r%d_c%d_s%d", sh.nodes, sh.runtimes, sh.cache, seed),
+				func(t *testing.T) {
+					fuzzOnce(t, sh.nodes, sh.runtimes, sh.cache, seed)
+				})
+		}
+	}
+}
+
+func fuzzOnce(t *testing.T, nodes, runtimes, cache int, seed int64) {
+	c := cluster.New(cluster.Config{
+		Nodes: nodes, RuntimeThreads: runtimes,
+		ChunkWords: 32, CacheChunks: cache,
+	})
+	defer c.Close()
+	const elems = 32 * 6
+	oracle := make([]uint64, elems)
+	var mu sync.Mutex
+
+	c.Run(func(n *cluster.Node) {
+		a := New(n, elems)
+		add := a.RegisterOp(OpAddU64)
+		max := a.RegisterOp(OpMaxU64)
+		root := n.NewCtx(0)
+		rng := root.Rng
+		rng.Seed(seed*1000 + int64(n.ID()))
+		c.Barrier(root)
+
+		for phase := 0; phase < 3; phase++ {
+			for k := 0; k < 250; k++ {
+				i := int64(rng.Intn(elems))
+				// Unsynchronized Apply deliberately bypasses locks (the
+				// whole point of Operate), so mixing it with locked
+				// read-modify-write on the same element is an application
+				// race. Partition the space: even elements take combining
+				// updates, odd elements take locked updates.
+				iApply := i &^ 1
+				iLock := i | 1
+				switch rng.Intn(6) {
+				case 0:
+					_ = a.Get(root, i)
+				case 1:
+					a.Apply(root, add, iApply, 1)
+					mu.Lock()
+					oracle[iApply]++
+					mu.Unlock()
+				case 2:
+					a.WLock(root, iLock)
+					a.Set(root, iLock, a.Get(root, iLock)+2)
+					a.Unlock(root, iLock)
+					mu.Lock()
+					oracle[iLock] += 2
+					mu.Unlock()
+				case 3:
+					p := a.PinRead(root, i)
+					_ = p.Get(root, i)
+					p.Unpin(root)
+				case 4:
+					// Max with a value never exceeding the additive floor
+					// keeps the oracle exact: max(x, 0) == x.
+					a.Apply(root, max, iApply, 0)
+				case 5:
+					a.RLock(root, i)
+					_ = a.Get(root, i)
+					a.Unlock(root, i)
+				}
+			}
+			c.Barrier(root)
+			for i := int64(0); i < elems; i++ {
+				got := a.Get(root, i)
+				mu.Lock()
+				want := oracle[i]
+				mu.Unlock()
+				if got != want {
+					t.Errorf("seed %d phase %d: a[%d] = %d, want %d", seed, phase, i, got, want)
+					break
+				}
+			}
+			c.Barrier(root)
+			if n.ID() == 0 {
+				if err := ValidateQuiesced(a.Instances()); err != nil {
+					t.Errorf("seed %d phase %d: %v", seed, phase, err)
+				}
+			}
+			c.Barrier(root)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"darray/internal/cluster"
+	"darray/internal/fabric"
+)
+
+// Distributed reader/writer locks with element granularity (paper Fig. 3
+// lines 5–7). Each element's lock lives at its home node, managed by the
+// runtime goroutine that owns the element's chunk; requests and grants
+// travel as protocol messages. Lock hold times chain through the lock's
+// virtual free-time, which is what makes exclusive WLock+Read+Write
+// serialize in the Fig. 14 experiment while Operate does not.
+
+type lockState struct {
+	writerHeld bool
+	readers    int
+	freeVT     int64 // virtual time the lock was last released
+	queue      []lockReq
+}
+
+type lockReq struct {
+	from   int
+	writer bool
+	w      *waiter // non-nil for local requests
+	vt     int64
+}
+
+// RLock acquires element i's lock in shared mode, blocking until granted.
+func (a *Array) RLock(ctx *cluster.Ctx, i int64) { a.lock(ctx, i, false) }
+
+// WLock acquires element i's lock exclusively, blocking until granted.
+func (a *Array) WLock(ctx *cluster.Ctx, i int64) { a.lock(ctx, i, true) }
+
+func (a *Array) lock(ctx *cluster.Ctx, i int64, writer bool) {
+	ci, _ := a.locate(i)
+	ctx.Stats.LockOps++
+	ctx.Stats.Ops++
+	home := a.homeOfChunk(ci)
+	rt := a.rtOf(ci)
+	w := &waiter{ctx: ctx, vt: ctx.Clock.Now()}
+	if m := a.model; m != nil {
+		w.vt += m.SlowFixed
+	}
+	rt.Submit(func(rt *cluster.Runtime) {
+		svt := a.charge(rt, w.vt)
+		if home == a.self() {
+			a.lockRequest(rt, i, lockReq{from: home, writer: writer, w: w, vt: svt})
+			return
+		}
+		s := a.rstate(rt)
+		if s.lockWaiters == nil {
+			s.lockWaiters = make(map[int64][]*waiter)
+		}
+		s.lockWaiters[i] = append(s.lockWaiters[i], w)
+		a.send(&fMsg{to: home, kind: msgLockReq, chunk: ci, idx: i,
+			flag: writer, vt: svt})
+	})
+	resp := ctx.WaitResp()
+	ctx.Clock.AdvanceTo(resp.VT)
+}
+
+// Unlock releases element i's lock (reader or writer — the home knows
+// which mode is held). The release is asynchronous, like a one-sided
+// RDMA write of the lock word.
+func (a *Array) Unlock(ctx *cluster.Ctx, i int64) {
+	ci, _ := a.locate(i)
+	ctx.Stats.LockOps++
+	ctx.Stats.Ops++
+	home := a.homeOfChunk(ci)
+	rt := a.rtOf(ci)
+	vt := ctx.Clock.Now()
+	if m := a.model; m != nil {
+		ctx.Clock.Advance(m.SendCost())
+	}
+	rt.Submit(func(rt *cluster.Runtime) {
+		if home == a.self() {
+			a.unlockRequest(rt, i, vt)
+			return
+		}
+		a.send(&fMsg{to: home, kind: msgUnlock, chunk: ci, idx: i, vt: vt})
+	})
+}
+
+// handleLockMsg processes lock traffic on the home (or requester, for
+// grants) runtime goroutine.
+func (a *Array) handleLockMsg(rt *cluster.Runtime, m *fabric.Message) {
+	svt := a.charge(rt, m.VT)
+	switch m.Kind {
+	case msgLockReq:
+		a.lockRequest(rt, m.Idx, lockReq{from: m.From, writer: m.Flag, vt: svt})
+	case msgUnlock:
+		a.unlockRequest(rt, m.Idx, svt)
+	case msgLockGrant:
+		s := a.rstate(rt)
+		q := s.lockWaiters[m.Idx]
+		if len(q) == 0 {
+			panic("core: lock grant with no local waiter")
+		}
+		w := q[0]
+		if len(q) == 1 {
+			delete(s.lockWaiters, m.Idx)
+		} else {
+			s.lockWaiters[m.Idx] = q[1:]
+		}
+		w.ctx.Complete(cluster.Resp{VT: svt, Val: 1})
+	}
+}
+
+func (a *Array) lockRequest(rt *cluster.Runtime, idx int64, r lockReq) {
+	s := a.rstate(rt)
+	ls := s.locks[idx]
+	if ls == nil {
+		ls = &lockState{}
+		s.locks[idx] = ls
+	}
+	ls.queue = append(ls.queue, r)
+	a.tryGrant(rt, idx, ls)
+}
+
+func (a *Array) unlockRequest(rt *cluster.Runtime, idx int64, vt int64) {
+	s := a.rstate(rt)
+	ls := s.locks[idx]
+	if ls == nil || (!ls.writerHeld && ls.readers == 0) {
+		panic("core: unlock of a lock not held")
+	}
+	if ls.writerHeld {
+		ls.writerHeld = false
+	} else {
+		ls.readers--
+	}
+	ls.freeVT = maxi64(ls.freeVT, vt)
+	a.tryGrant(rt, idx, ls)
+	if !ls.writerHeld && ls.readers == 0 && len(ls.queue) == 0 {
+		delete(s.locks, idx) // keep the table sparse
+	}
+}
+
+func (a *Array) tryGrant(rt *cluster.Runtime, idx int64, ls *lockState) {
+	mdl := a.model
+	for len(ls.queue) > 0 {
+		h := ls.queue[0]
+		if ls.writerHeld || (h.writer && ls.readers > 0) {
+			return
+		}
+		ls.queue = ls.queue[1:]
+		if h.writer {
+			ls.writerHeld = true
+		} else {
+			ls.readers++
+		}
+		gvt := maxi64(h.vt, ls.freeVT)
+		if mdl != nil {
+			gvt += mdl.LockService
+		}
+		if h.w != nil {
+			h.w.ctx.Complete(cluster.Resp{VT: gvt, Val: 1})
+		} else {
+			ci := idx / a.sh.chunkWords
+			a.send(&fMsg{to: h.from, kind: msgLockGrant, chunk: ci, idx: idx, vt: gvt})
+		}
+		if h.writer {
+			return
+		}
+	}
+	if len(ls.queue) == 0 && !ls.writerHeld && ls.readers == 0 {
+		s := a.rstate(rt)
+		delete(s.locks, idx)
+	}
+}

@@ -1,0 +1,70 @@
+// Package core implements DArray: a distributed object array with a
+// coherent cache, a lock-free data access path (paper §4.1), an extended
+// four-state cache coherence protocol with the Operated state (§4.4),
+// the Operate interface for associative-commutative updates (§4.3),
+// distributed reader/writer locks, and the Pin optimization hint.
+//
+// Elements are 8-byte words (the granularity of the paper's entire
+// evaluation); typed views convert to float64/int64 via bit casts.
+package core
+
+import "math"
+
+// OpID identifies a registered operator. The zero value is invalid.
+type OpID int32
+
+// Op is an associative and commutative operator over 8-byte words, plus
+// its identity element. The identity is what combine buffers are filled
+// with, so op(x, Identity) must equal x; that property lets the home
+// node merge a whole combined chunk without tracking touched elements.
+type Op struct {
+	Name     string
+	Fn       func(acc, operand uint64) uint64
+	Identity uint64
+}
+
+// Builtin operators matching the paper's examples (write_add,
+// write_min) for both integer and float64 payloads.
+var (
+	OpAddU64 = Op{Name: "add_u64", Identity: 0,
+		Fn: func(a, b uint64) uint64 { return a + b }}
+	OpMinU64 = Op{Name: "min_u64", Identity: math.MaxUint64,
+		Fn: func(a, b uint64) uint64 {
+			if b < a {
+				return b
+			}
+			return a
+		}}
+	OpMaxU64 = Op{Name: "max_u64", Identity: 0,
+		Fn: func(a, b uint64) uint64 {
+			if b > a {
+				return b
+			}
+			return a
+		}}
+	OpAddF64 = Op{Name: "add_f64", Identity: math.Float64bits(0),
+		Fn: func(a, b uint64) uint64 {
+			return math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+		}}
+	OpMinF64 = Op{Name: "min_f64", Identity: math.Float64bits(math.Inf(1)),
+		Fn: func(a, b uint64) uint64 {
+			if math.Float64frombits(b) < math.Float64frombits(a) {
+				return b
+			}
+			return a
+		}}
+	OpMaxF64 = Op{Name: "max_f64", Identity: math.Float64bits(math.Inf(-1)),
+		Fn: func(a, b uint64) uint64 {
+			if math.Float64frombits(b) > math.Float64frombits(a) {
+				return b
+			}
+			return a
+		}}
+	// Bitwise combiners (bitmap frontiers, visited sets, flag gathers).
+	OpOrU64 = Op{Name: "or_u64", Identity: 0,
+		Fn: func(a, b uint64) uint64 { return a | b }}
+	OpAndU64 = Op{Name: "and_u64", Identity: ^uint64(0),
+		Fn: func(a, b uint64) uint64 { return a & b }}
+	OpXorU64 = Op{Name: "xor_u64", Identity: 0,
+		Fn: func(a, b uint64) uint64 { return a ^ b }}
+)

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"darray/internal/cluster"
+)
+
+// Pin is an explicitly held reference to one chunk (paper §4.1 "Pin
+// interface"): while held, the runtime can neither evict the chunk nor
+// degrade its permission, so the pinned accessors skip the delay-flag
+// and refcnt atomics entirely — the fast path costs the same as a
+// builtin array access plus a bounds check.
+type Pin struct {
+	a     *Array
+	d     *dentry
+	base  int64 // first global element covered
+	limit int64 // one past the last global element covered
+	apFn  func(acc, operand uint64) uint64
+	op    OpID
+}
+
+// PinRead pins the chunk containing element i with read permission.
+// While pinned in Shared state the runtime may still serve other nodes'
+// read requests from it.
+func (a *Array) PinRead(ctx *cluster.Ctx, i int64) *Pin {
+	return a.pin(ctx, i, wantPinRead, 0)
+}
+
+// PinWrite pins the chunk containing element i with exclusive (RW)
+// permission.
+func (a *Array) PinWrite(ctx *cluster.Ctx, i int64) *Pin {
+	return a.pin(ctx, i, wantPinWrite, 0)
+}
+
+// PinOperate pins the chunk containing element i in the Operated state
+// for operator op, so Apply calls combine without atomics on the control
+// path (the element CAS remains — combiners stay concurrent).
+func (a *Array) PinOperate(ctx *cluster.Ctx, i int64, op OpID) *Pin {
+	return a.pin(ctx, i, wantPinOperate, op)
+}
+
+func (a *Array) pin(ctx *cluster.Ctx, i int64, want uint8, op OpID) *Pin {
+	ci, _ := a.locate(i)
+	d := &a.dents[ci]
+	ctx.Stats.Ops++
+	var fn func(uint64, uint64) uint64
+	if want == wantPinOperate {
+		fn = a.op(op).Fn
+	}
+	mk := func() *Pin {
+		base := ci * a.sh.chunkWords
+		limit := base + a.sh.chunkWords
+		if limit > a.sh.n {
+			limit = a.sh.n
+		}
+		return &Pin{a: a, d: d, base: base, limit: limit, apFn: fn, op: op}
+	}
+	for {
+		for d.delay.Load() {
+			runtime.Gosched()
+		}
+		d.refcnt.Add(1)
+		if satisfies(d.state.Load(), want, op) {
+			ctx.Stats.Hits++
+			return mk() // keep the reference: that is the pin
+		}
+		d.refcnt.Add(-1)
+		if a.slowPathPin(ctx, d, ci, want, op) {
+			// The runtime took the reference on our behalf.
+			return mk()
+		}
+	}
+}
+
+// slowPathPin submits a pin request; on success the runtime increments
+// the refcnt before completing, so no transition can intervene. It
+// reports whether the pin was granted.
+func (a *Array) slowPathPin(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, op OpID) bool {
+	ctx.Stats.Misses++
+	vt := ctx.Clock.Now()
+	if m := a.model; m != nil {
+		vt += m.SlowFixed
+	}
+	w := &waiter{ctx: ctx, want: want, op: op, vt: vt}
+	a.rtOf(ci).Submit(func(rt *cluster.Runtime) {
+		a.handleLocal(rt, d, ci, w)
+	})
+	resp := ctx.WaitResp()
+	ctx.Clock.AdvanceTo(resp.VT)
+	return resp.Val == 1
+}
+
+// First returns the first global index covered by the pin.
+func (p *Pin) First() int64 { return p.base }
+
+// Limit returns one past the last global index covered by the pin.
+func (p *Pin) Limit() int64 { return p.limit }
+
+// Get reads global element i from the pinned chunk without atomics.
+func (p *Pin) Get(ctx *cluster.Ctx, i int64) uint64 {
+	p.check(i)
+	if m := p.a.model; m != nil {
+		ctx.Clock.Advance(m.PinAccess)
+	}
+	ctx.Stats.Hits++
+	return p.d.data[i-p.base]
+}
+
+// Set writes global element i. The pin must hold RW permission.
+func (p *Pin) Set(ctx *cluster.Ctx, i int64, v uint64) {
+	p.check(i)
+	if statePerm(p.d.state.Load()) != permRW {
+		panic("core: Set through a pin without write permission")
+	}
+	if m := p.a.model; m != nil {
+		ctx.Clock.Advance(m.PinAccess)
+	}
+	ctx.Stats.Hits++
+	p.d.data[i-p.base] = v
+}
+
+// Apply combines operand into element i through the pin. Requires a
+// PinOperate (or PinWrite on the home node, where RW implies Operate).
+func (p *Pin) Apply(ctx *cluster.Ctx, i int64, operand uint64) {
+	p.check(i)
+	if p.apFn == nil {
+		panic("core: Apply through a pin that was not PinOperate")
+	}
+	if m := p.a.model; m != nil {
+		ctx.Clock.Advance(m.PinAccess)
+	}
+	ctx.Stats.Hits++
+	ctx.Stats.Combines++
+	addr := &p.d.data[i-p.base]
+	for {
+		old := atomic.LoadUint64(addr)
+		if atomic.CompareAndSwapUint64(addr, old, p.apFn(old, operand)) {
+			return
+		}
+	}
+}
+
+// Unpin releases the pinned reference; the Pin must not be used after.
+func (p *Pin) Unpin(ctx *cluster.Ctx) {
+	p.d.refcnt.Add(-1)
+	p.d = nil
+}
+
+func (p *Pin) check(i int64) {
+	if i < p.base || i >= p.limit {
+		panic(fmt.Sprintf("core: index %d outside pinned chunk [%d,%d)", i, p.base, p.limit))
+	}
+}

@@ -1,0 +1,561 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"darray/internal/cluster"
+	"darray/internal/fabric"
+)
+
+// Protocol message kinds. Requests flow cache→home, grants and
+// coherence commands flow home→cache; the fabric guarantees per-pair
+// FIFO and chunk→runtime placement guarantees per-chunk ordering.
+const (
+	msgReadReq uint8 = iota
+	msgWriteReq
+	msgOperateReq
+	msgDataResp // Val carries the granted permission
+	msgOpGrant
+	msgInvalidate
+	msgInvAck
+	msgDowngrade // Dirty owner: write back, keep a Shared copy
+	msgRecall    // Dirty owner: write back and invalidate
+	msgOpRecall  // operating node: flush combined operands, invalidate
+	msgWBData    // chunk data to home (recall response or voluntary evict)
+	msgOpFlush   // combined operands to home
+	msgLockReq   // Idx = element, Flag = writer
+	msgLockGrant
+	msgUnlock
+)
+
+type fMsg struct {
+	to    int
+	kind  uint8
+	chunk int64
+	op    OpID
+	idx   int64
+	val   uint64
+	flag  bool
+	data  []uint64
+	vt    int64
+}
+
+func (a *Array) send(m *fMsg) {
+	a.node.Send(&fabric.Message{
+		To: m.to, Array: a.sh.id, Kind: m.kind, Chunk: m.chunk,
+		OpID: int32(m.op), Idx: m.idx, Val: m.val, Flag: m.flag,
+		Data: m.data, SendVT: m.vt,
+	})
+}
+
+// charge accounts one runtime service slot starting at vt and returns
+// the virtual completion time (zero when no model is configured).
+func (a *Array) charge(rt *cluster.Runtime, vt int64) int64 {
+	m := a.model
+	if m == nil {
+		return 0
+	}
+	_, end := rt.Res.Acquire(vt, m.RPCService)
+	return end
+}
+
+func (a *Array) copyCost(words int) int64 {
+	if a.model == nil {
+		return 0
+	}
+	return a.model.CopyCost(8 * words)
+}
+
+func (a *Array) self() int { return a.node.ID() }
+
+// handleMsg is the Rx route target: it runs on the runtime goroutine
+// owning m.Chunk.
+func (a *Array) handleMsg(rt *cluster.Runtime, m *fabric.Message) {
+	switch m.Kind {
+	case msgLockReq, msgLockGrant, msgUnlock:
+		a.handleLockMsg(rt, m)
+		return
+	}
+	d := &a.dents[m.Chunk]
+	a.trace(kindName(m.Kind), m.Chunk, m.From)
+	svt := a.charge(rt, m.VT)
+	switch m.Kind {
+	case msgReadReq:
+		a.serveHome(rt, d, homeReq{from: m.From, want: wantRead, vt: svt})
+	case msgWriteReq:
+		a.serveHome(rt, d, homeReq{from: m.From, want: wantWrite, vt: svt})
+	case msgOperateReq:
+		a.serveHome(rt, d, homeReq{from: m.From, want: wantOperate, op: OpID(m.OpID), vt: svt})
+	case msgDataResp:
+		a.handleDataResp(rt, d, m, svt)
+	case msgOpGrant:
+		a.handleOpGrant(rt, d, m, svt)
+	case msgInvalidate:
+		a.handleInvalidate(rt, d, m, svt)
+	case msgInvAck:
+		a.handleInvAck(rt, d, svt)
+	case msgDowngrade:
+		a.handleDowngrade(rt, d, svt)
+	case msgRecall:
+		a.handleRecall(rt, d, svt)
+	case msgOpRecall:
+		a.handleOpRecall(rt, d, svt)
+	case msgWBData:
+		a.handleWBData(rt, d, m, svt)
+	case msgOpFlush:
+		a.handleOpFlush(rt, d, m, svt)
+	default:
+		panic(fmt.Sprintf("core: unknown message kind %d", m.Kind))
+	}
+}
+
+// handleLocal is the runtime-side entry for a local slow-path request.
+func (a *Array) handleLocal(rt *cluster.Runtime, d *dentry, ci int64, w *waiter) {
+	a.trace("local-req", ci, -1)
+	svt := a.charge(rt, w.vt)
+	if satisfies(d.state.Load(), w.want, w.op) {
+		a.respond(rt, d, w, maxi64(svt, d.tvt))
+		return
+	}
+	w.vt = svt
+	if a.homeOfChunk(ci) == a.self() {
+		a.serveHome(rt, d, homeReq{from: a.self(), want: baseWant(w.want), op: w.op, vt: svt, w: w})
+	} else {
+		a.cacheRequest(rt, d, w)
+	}
+}
+
+// respond completes a local waiter. For pin requests the runtime takes
+// the reference on the waiter's behalf before replying, closing the
+// window in which another transition could intervene.
+func (a *Array) respond(rt *cluster.Runtime, d *dentry, w *waiter, vt int64) {
+	var val uint64
+	if isPin(w.want) && satisfies(d.state.Load(), w.want, w.op) {
+		d.refcnt.Add(1)
+		val = 1
+	}
+	w.ctx.Complete(cluster.Resp{VT: vt, Val: val})
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Home side: the directory state machine (paper Figure 9, Table 1).
+
+type homeReq struct {
+	from int
+	want uint8
+	op   OpID
+	vt   int64
+	w    *waiter // non-nil for local requests
+}
+
+// serveHome starts (or defers) a directory transaction for chunk d.
+func (a *Array) serveHome(rt *cluster.Runtime, d *dentry, r homeReq) {
+	if d.busy {
+		d.defrd = append(d.defrd, deferredReq{from: r.from, want: r.want, op: r.op, vt: r.vt, w: r.w})
+		return
+	}
+	d.busy = true
+	d.tvt = maxi64(d.tvt, r.vt)
+	a.homeStep(rt, d, r)
+}
+
+// homeStep dispatches one directory transaction. Transitions that must
+// wait (reference drains, invalidation acks, recalls) continue through
+// callbacks and re-enter homeStep or finish via homeDone.
+func (a *Array) homeStep(rt *cluster.Runtime, d *dentry, r homeReq) {
+	local := r.from == a.self()
+	switch d.dstate {
+	case dirUnshared:
+		a.homeFromUnshared(rt, d, r, local)
+	case dirShared:
+		a.homeFromShared(rt, d, r, local)
+	case dirDirty:
+		a.homeFromDirty(rt, d, r, local)
+	case dirOperated:
+		if !local && r.want == wantOperate && r.op == d.opID {
+			d.opNodes |= 1 << uint(r.from)
+			a.grantOperate(rt, d, r)
+			return
+		}
+		if local && satisfies(d.state.Load(), r.want, r.op) {
+			// Home already holds Operated(op) permission locally.
+			a.homeFinish(rt, d, r)
+			return
+		}
+		a.collapseOperated(rt, d, func(rt *cluster.Runtime) {
+			a.homeStep(rt, d, r)
+		})
+	default:
+		panic("core: bad directory state")
+	}
+}
+
+func (a *Array) homeFromUnshared(rt *cluster.Runtime, d *dentry, r homeReq, local bool) {
+	if local {
+		// Unshared already grants the home node R/W/O.
+		a.homeFinish(rt, d, r)
+		return
+	}
+	switch r.want {
+	case wantRead:
+		a.demoteLocal(rt, d, permRead, func(rt *cluster.Runtime) {
+			d.dstate = dirShared
+			d.sharers = 1 << uint(r.from)
+			a.grantData(rt, d, r, permRead)
+		})
+	case wantWrite:
+		a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
+			d.dstate = dirDirty
+			d.owner = int32(r.from)
+			a.grantData(rt, d, r, permRW)
+		})
+	case wantOperate:
+		a.demoteLocal(rt, d, packState(permOperated, r.op), func(rt *cluster.Runtime) {
+			d.dstate = dirOperated
+			d.opID = r.op
+			d.opNodes = 1 << uint(r.from)
+			a.grantOperate(rt, d, r)
+		})
+	}
+}
+
+func (a *Array) homeFromShared(rt *cluster.Runtime, d *dentry, r homeReq, local bool) {
+	switch r.want {
+	case wantRead:
+		if local {
+			a.homeFinish(rt, d, r) // home perm is Read already
+			return
+		}
+		d.sharers |= 1 << uint(r.from)
+		a.grantData(rt, d, r, permRead)
+	case wantWrite:
+		except := -1
+		if !local {
+			except = r.from
+		}
+		a.invalidateSharers(rt, d, except, func(rt *cluster.Runtime) {
+			if local {
+				// Permission promotion Read→RW needs no drain (Fig. 6).
+				d.dstate = dirUnshared
+				d.state.Store(permRW)
+				a.homeFinish(rt, d, r)
+				return
+			}
+			a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
+				d.dstate = dirDirty
+				d.owner = int32(r.from)
+				a.grantData(rt, d, r, permRW)
+			})
+		})
+	case wantOperate:
+		except := -1
+		if !local {
+			except = r.from
+		}
+		a.invalidateSharers(rt, d, except, func(rt *cluster.Runtime) {
+			if local {
+				d.dstate = dirUnshared
+				d.state.Store(permRW) // RW satisfies Apply at home
+				a.homeFinish(rt, d, r)
+				return
+			}
+			a.demoteLocal(rt, d, packState(permOperated, r.op), func(rt *cluster.Runtime) {
+				d.dstate = dirOperated
+				d.opID = r.op
+				d.opNodes = 1 << uint(r.from)
+				a.grantOperate(rt, d, r)
+			})
+		})
+	}
+}
+
+func (a *Array) homeFromDirty(rt *cluster.Runtime, d *dentry, r homeReq, local bool) {
+	owner := int(d.owner)
+	if !local && owner == r.from {
+		panic("core: dirty owner re-requested ownership")
+	}
+	if !local && r.want == wantRead {
+		// Dirty --Remote R--> Shared: the owner keeps a Shared copy.
+		a.downgradeDirty(rt, d, func(rt *cluster.Runtime) {
+			d.dstate = dirShared
+			d.sharers = (1 << uint(owner)) | (1 << uint(r.from))
+			d.state.Store(permRead)
+			a.grantData(rt, d, r, permRead)
+		})
+		return
+	}
+	a.recallDirty(rt, d, func(rt *cluster.Runtime) {
+		d.dstate = dirUnshared
+		d.owner = -1
+		d.state.Store(permRW)
+		a.homeStep(rt, d, r)
+	})
+}
+
+// homeFinish completes a transaction whose requester is the home node.
+func (a *Array) homeFinish(rt *cluster.Runtime, d *dentry, r homeReq) {
+	if r.w != nil {
+		a.respond(rt, d, r.w, d.tvt)
+	}
+	a.homeDone(rt, d)
+}
+
+// grantData replies to a remote requester with a copy of the chunk.
+func (a *Array) grantData(rt *cluster.Runtime, d *dentry, r homeReq, perm uint32) {
+	data := make([]uint64, len(d.data))
+	copy(data, d.data)
+	a.send(&fMsg{to: r.from, kind: msgDataResp, chunk: d.ci, val: uint64(perm),
+		data: data, vt: d.tvt + a.copyCost(len(data))})
+	a.homeDone(rt, d)
+}
+
+// grantOperate replies to a remote Operate request; no data moves (the
+// requester initializes a combine buffer with the operator identity).
+func (a *Array) grantOperate(rt *cluster.Runtime, d *dentry, r homeReq) {
+	a.send(&fMsg{to: r.from, kind: msgOpGrant, chunk: d.ci, op: d.opID, vt: d.tvt})
+	a.homeDone(rt, d)
+}
+
+// homeDone ends the current transaction and serves deferred requests.
+func (a *Array) homeDone(rt *cluster.Runtime, d *dentry) {
+	d.busy = false
+	a.drainDeferred(rt, d, d.ci)
+}
+
+// drainDeferred re-dispatches requests that arrived during a transaction
+// (home side) or an eviction (cache side).
+func (a *Array) drainDeferred(rt *cluster.Runtime, d *dentry, ci int64) {
+	for !d.busy && len(d.defrd) > 0 {
+		r := d.defrd[0]
+		d.defrd = d.defrd[1:]
+		if len(d.defrd) == 0 {
+			d.defrd = nil
+		}
+		if a.homeOfChunk(ci) == a.self() {
+			if r.w != nil && satisfies(d.state.Load(), r.want, r.op) {
+				a.respond(rt, d, r.w, maxi64(r.vt, d.tvt))
+				continue
+			}
+			a.serveHome(rt, d, homeReq{from: r.from, want: r.want, op: r.op, vt: r.vt, w: r.w})
+			continue
+		}
+		// Cache side: deferred coherence commands.
+		switch r.want {
+		case defInvalidate:
+			a.handleInvalidate(rt, d, &fabric.Message{From: r.from, Chunk: ci}, r.vt)
+		case defDowngrade:
+			a.handleDowngrade(rt, d, r.vt)
+		case defRecall:
+			a.handleRecall(rt, d, r.vt)
+		case defOpRecall:
+			a.handleOpRecall(rt, d, r.vt)
+		}
+	}
+	// A cache-side dentry may have collected waiters during an eviction.
+	if !d.busy && !d.pending && len(d.waiters) > 0 && a.homeOfChunk(ci) != a.self() {
+		a.issueRequest(rt, d)
+	}
+}
+
+// Cache-side deferred command tags (reuse deferredReq.want).
+const (
+	defInvalidate uint8 = 100 + iota
+	defDowngrade
+	defRecall
+	defOpRecall
+)
+
+// demoteLocal changes the local access permission, waiting out live
+// references when the change revokes rights (paper Figure 5); pure
+// promotions skip the drain (Figure 6). The new state is only published
+// after the reference count drains: that ordering is what lets a Pin
+// (a held reference) forbid the runtime from degrading the chunk's
+// permission while pinned accessors bypass the delay/refcnt atomics.
+// New application threads are parked on the delay flag meanwhile.
+// cont runs on this runtime goroutine.
+func (a *Array) demoteLocal(rt *cluster.Runtime, d *dentry, newState uint32, cont func(rt *cluster.Runtime)) {
+	old := d.state.Load()
+	if old == newState {
+		cont(rt)
+		return
+	}
+	op, np := statePerm(old), statePerm(newState)
+	if op == permInvalid || (op == permRead && np == permRW) {
+		d.state.Store(newState)
+		cont(rt)
+		return
+	}
+	d.delay.Store(true) // block incoming application threads
+	if d.refcnt.Load() == 0 {
+		d.state.Store(newState)
+		d.delay.Store(false)
+		cont(rt)
+		return
+	}
+	rt.Stall(func(rt *cluster.Runtime) bool {
+		if d.refcnt.Load() != 0 {
+			return false
+		}
+		d.state.Store(newState)
+		d.delay.Store(false)
+		cont(rt)
+		return true
+	})
+}
+
+// invalidateSharers sends invalidations to every sharer except `except`
+// and continues once all acks arrive.
+func (a *Array) invalidateSharers(rt *cluster.Runtime, d *dentry, except int, cont func(rt *cluster.Runtime)) {
+	mask := d.sharers
+	if except >= 0 {
+		mask &^= 1 << uint(except)
+	}
+	d.sharers = 0
+	n := bits.OnesCount64(mask)
+	if n == 0 {
+		cont(rt)
+		return
+	}
+	d.acks = n
+	d.onAcks = cont
+	for v := 0; mask != 0; v++ {
+		if mask&1 != 0 {
+			a.send(&fMsg{to: v, kind: msgInvalidate, chunk: d.ci, vt: d.tvt})
+		}
+		mask >>= 1
+	}
+}
+
+func (a *Array) handleInvAck(rt *cluster.Runtime, d *dentry, svt int64) {
+	d.tvt = maxi64(d.tvt, svt)
+	if d.acks == 0 || d.onAcks == nil {
+		panic("core: unexpected invalidation ack")
+	}
+	d.acks--
+	if d.acks == 0 {
+		cb := d.onAcks
+		d.onAcks = nil
+		cb(rt)
+	}
+}
+
+// recallDirty demands the chunk back from its Dirty owner. The response
+// (or a voluntary writeback that crossed on the wire) lands in
+// handleWBData, which copies the data home before running cont.
+func (a *Array) recallDirty(rt *cluster.Runtime, d *dentry, cont func(rt *cluster.Runtime)) {
+	a.Metrics.Recalls.Add(1)
+	d.onWB = func(rt *cluster.Runtime, data []uint64, vt int64) {
+		copy(d.data, data)
+		d.tvt = maxi64(d.tvt, vt)
+		cont(rt)
+	}
+	a.send(&fMsg{to: int(d.owner), kind: msgRecall, chunk: d.ci, vt: d.tvt})
+}
+
+// downgradeDirty asks the Dirty owner to write back but keep reading.
+func (a *Array) downgradeDirty(rt *cluster.Runtime, d *dentry, cont func(rt *cluster.Runtime)) {
+	a.Metrics.Recalls.Add(1)
+	d.onWB = func(rt *cluster.Runtime, data []uint64, vt int64) {
+		copy(d.data, data)
+		d.tvt = maxi64(d.tvt, vt)
+		cont(rt)
+	}
+	a.send(&fMsg{to: int(d.owner), kind: msgDowngrade, chunk: d.ci, vt: d.tvt})
+}
+
+func (a *Array) handleWBData(rt *cluster.Runtime, d *dentry, m *fabric.Message, svt int64) {
+	if d.onWB != nil {
+		cb := d.onWB
+		d.onWB = nil
+		cb(rt, m.Data, svt+a.copyCost(len(m.Data)))
+		return
+	}
+	if d.busy {
+		panic("core: voluntary writeback during unrelated transaction")
+	}
+	if d.dstate != dirDirty || int(d.owner) != m.From {
+		panic("core: writeback from non-owner")
+	}
+	copy(d.data, m.Data)
+	d.dstate = dirUnshared
+	d.owner = -1
+	d.state.Store(permRW)
+	d.tvt = maxi64(d.tvt, svt+a.copyCost(len(m.Data)))
+	a.drainDeferred(rt, d, d.ci)
+}
+
+// collapseOperated drains the Operated state: home permission is revoked
+// first (stopping local combining), then every operating node is asked
+// to flush its combined operands, which the home merges; the chunk lands
+// in Unshared with home RW permission.
+func (a *Array) collapseOperated(rt *cluster.Runtime, d *dentry, cont func(rt *cluster.Runtime)) {
+	a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
+		mask := d.opNodes
+		n := bits.OnesCount64(mask)
+		finish := func(rt *cluster.Runtime) {
+			d.dstate = dirUnshared
+			d.opNodes = 0
+			d.opID = 0
+			d.state.Store(permRW)
+			cont(rt)
+		}
+		if n == 0 {
+			finish(rt)
+			return
+		}
+		d.opAcks = n
+		d.onOpAll = finish
+		for v := 0; mask != 0; v++ {
+			if mask&1 != 0 {
+				a.send(&fMsg{to: v, kind: msgOpRecall, chunk: d.ci, vt: d.tvt})
+			}
+			mask >>= 1
+		}
+	})
+}
+
+// handleOpFlush merges a node's combined operand buffer into the home
+// chunk. Identity elements are skipped; merging uses CAS because home
+// application threads may be combining concurrently (voluntary flushes
+// arrive while the chunk is still Operated).
+func (a *Array) handleOpFlush(rt *cluster.Runtime, d *dentry, m *fabric.Message, svt int64) {
+	op := a.op(OpID(m.OpID))
+	a.mergeOperands(d, m.Data, op)
+	a.Metrics.OpMerges.Add(1)
+	d.opNodes &^= 1 << uint(m.From)
+	d.tvt = maxi64(d.tvt, svt+a.copyCost(len(m.Data)))
+	if d.opAcks > 0 {
+		d.opAcks--
+		if d.opAcks == 0 {
+			cb := d.onOpAll
+			d.onOpAll = nil
+			cb(rt)
+		}
+	}
+}
+
+func (a *Array) mergeOperands(d *dentry, buf []uint64, op *Op) {
+	id := op.Identity
+	fn := op.Fn
+	for i, v := range buf {
+		if v == id {
+			continue
+		}
+		addr := &d.data[i]
+		for {
+			old := atomic.LoadUint64(addr)
+			if atomic.CompareAndSwapUint64(addr, old, fn(old, v)) {
+				break
+			}
+		}
+	}
+}

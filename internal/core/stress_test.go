@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"darray/internal/cluster"
+)
+
+// TestProtocolStressOracle drives the full protocol with randomized
+// mixed workloads and checks every element against an oracle. Phases
+// alternate between commutative Apply storms (Operated-state machinery,
+// recalls, merges, flushes), lock-protected read-modify-writes (lock
+// service + Dirty transfers), and interleaved reads (Operated collapses
+// mid-storm). A tiny cache forces constant eviction and refetch.
+func TestProtocolStressOracle(t *testing.T) {
+	const (
+		nodes   = 3
+		threads = 2
+		elems   = 4 * 64 // 4 chunks per node's view, chunk=64
+		phases  = 6
+		opsPer  = 300
+	)
+	c := tc(t, nodes, func(cfg *cluster.Config) { cfg.CacheChunks = 6 })
+
+	// oracle[i] accumulates the expected value of element i; guarded by
+	// mu (the oracle is not the system under test).
+	oracle := make([]uint64, elems)
+	var mu sync.Mutex
+
+	c.Run(func(n *cluster.Node) {
+		a := New(n, elems)
+		add := a.RegisterOp(OpAddU64)
+		root := n.NewCtx(0)
+		c.Barrier(root)
+
+		for p := 0; p < phases; p++ {
+			switch p % 3 {
+			case 0: // Apply storm with interleaved reads
+				n.RunThreads(threads, func(ctx *cluster.Ctx) {
+					for k := 0; k < opsPer; k++ {
+						i := int64(ctx.Rng.Intn(elems))
+						v := uint64(ctx.Rng.Intn(5) + 1)
+						a.Apply(ctx, add, i, v)
+						mu.Lock()
+						oracle[i] += v
+						mu.Unlock()
+						if k%16 == 0 {
+							_ = a.Get(ctx, int64(ctx.Rng.Intn(elems)))
+						}
+					}
+				})
+			case 1: // locked read-modify-write
+				n.RunThreads(threads, func(ctx *cluster.Ctx) {
+					for k := 0; k < opsPer/4; k++ {
+						i := int64(ctx.Rng.Intn(elems))
+						a.WLock(ctx, i)
+						a.Set(ctx, i, a.Get(ctx, i)+3)
+						a.Unlock(ctx, i)
+						mu.Lock()
+						oracle[i] += 3
+						mu.Unlock()
+					}
+				})
+			case 2: // pinned sequential applies over one remote chunk
+				n.RunThreads(threads, func(ctx *cluster.Ctx) {
+					ci := int64(ctx.Rng.Intn(elems / 64))
+					p := a.PinOperate(ctx, ci*64, add)
+					for i := p.First(); i < p.Limit(); i++ {
+						p.Apply(ctx, i, 2)
+						mu.Lock()
+						oracle[i] += 2
+						mu.Unlock()
+					}
+					p.Unpin(ctx)
+				})
+			}
+			c.Barrier(root)
+			// Full verification: every node reads every element.
+			for i := int64(0); i < elems; i++ {
+				got := a.Get(root, i)
+				mu.Lock()
+				want := oracle[i]
+				mu.Unlock()
+				if got != want {
+					t.Errorf("phase %d node %d: a[%d] = %d, want %d",
+						p, n.ID(), i, got, want)
+					break
+				}
+			}
+			c.Barrier(root)
+		}
+	})
+}
+
+// TestReadsDuringApplyAreMonotonic checks linearizability of reads that
+// interleave with an add-only Apply storm: any observed value must never
+// exceed the final total, and after the storm every node converges.
+func TestReadsDuringApplyAreMonotonic(t *testing.T) {
+	const nodes, per = 3, 400
+	c := tc(t, nodes)
+	c.Run(func(n *cluster.Node) {
+		a := New(n, 64)
+		add := a.RegisterOp(OpAddU64)
+		ctx := n.NewCtx(0)
+		c.Barrier(ctx)
+		last := uint64(0)
+		for k := 0; k < per; k++ {
+			a.Apply(ctx, add, 0, 1)
+			if k%32 == 0 {
+				v := a.Get(ctx, 0)
+				if v > nodes*per {
+					t.Errorf("read %d exceeds maximum possible %d", v, nodes*per)
+				}
+				if v < last {
+					// Reads on one thread can only see more applies over
+					// time (its own applies are included after collapse).
+					t.Errorf("non-monotonic reads on one thread: %d after %d", v, last)
+				}
+				last = v
+			}
+		}
+		c.Barrier(ctx)
+		if got := a.Get(ctx, 0); got != nodes*per {
+			t.Errorf("final = %d, want %d", got, nodes*per)
+		}
+		c.Barrier(ctx)
+	})
+}
+
+// TestManyArraysCoexist ensures protocol traffic for multiple arrays is
+// routed independently (the KVS uses several arrays over one cluster).
+func TestManyArraysCoexist(t *testing.T) {
+	c := tc(t, 2)
+	c.Run(func(n *cluster.Node) {
+		a := New(n, 2*64)
+		b := New(n, 2*64)
+		addA := a.RegisterOp(OpAddU64)
+		addB := b.RegisterOp(OpAddU64)
+		ctx := n.NewCtx(0)
+		c.Barrier(ctx)
+		for k := 0; k < 200; k++ {
+			a.Apply(ctx, addA, 1, 1)
+			b.Apply(ctx, addB, 1, 2)
+		}
+		c.Barrier(ctx)
+		if got := a.Get(ctx, 1); got != 2*200 {
+			t.Errorf("array a = %d, want 400", got)
+		}
+		if got := b.Get(ctx, 1); got != 2*400 {
+			t.Errorf("array b = %d, want 800", got)
+		}
+		c.Barrier(ctx)
+	})
+}

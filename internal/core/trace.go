@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// TraceEvent is one recorded protocol step on a node.
+type TraceEvent struct {
+	Seq   uint64
+	Node  int
+	Chunk int64
+	Kind  string // message kind or local event name
+	From  int    // requesting/sending node (-1 for local events)
+}
+
+// String renders the event for logs.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("#%d n%d chunk %d %s from=%d", e.Seq, e.Node, e.Chunk, e.Kind, e.From)
+}
+
+// tracer is a bounded ring of protocol events, disabled by default. It
+// exists for debugging coherence issues: enable it on the handles you
+// suspect, reproduce, then dump.
+type tracer struct {
+	on   atomic.Bool
+	mu   sync.Mutex
+	seq  uint64
+	ring []TraceEvent
+	pos  int
+	full bool
+}
+
+// EnableTrace starts recording up to depth protocol events on this
+// node's handle (older events are overwritten).
+func (a *Array) EnableTrace(depth int) {
+	if depth <= 0 {
+		depth = 1024
+	}
+	a.tr.mu.Lock()
+	a.tr.ring = make([]TraceEvent, depth)
+	a.tr.pos, a.tr.full = 0, false
+	a.tr.mu.Unlock()
+	a.tr.on.Store(true)
+}
+
+// DisableTrace stops recording.
+func (a *Array) DisableTrace() { a.tr.on.Store(false) }
+
+// TraceEvents returns the recorded events, oldest first.
+func (a *Array) TraceEvents() []TraceEvent {
+	a.tr.mu.Lock()
+	defer a.tr.mu.Unlock()
+	if !a.tr.full {
+		out := make([]TraceEvent, a.tr.pos)
+		copy(out, a.tr.ring[:a.tr.pos])
+		return out
+	}
+	out := make([]TraceEvent, len(a.tr.ring))
+	n := copy(out, a.tr.ring[a.tr.pos:])
+	copy(out[n:], a.tr.ring[:a.tr.pos])
+	return out
+}
+
+// trace records one event when tracing is on (a single atomic load when
+// off, so the protocol handlers can call it unconditionally).
+func (a *Array) trace(kind string, ci int64, from int) {
+	if !a.tr.on.Load() {
+		return
+	}
+	a.tr.mu.Lock()
+	a.tr.seq++
+	ev := TraceEvent{Seq: a.tr.seq, Node: a.node.ID(), Chunk: ci, Kind: kind, From: from}
+	if len(a.tr.ring) == 0 {
+		a.tr.mu.Unlock()
+		return
+	}
+	a.tr.ring[a.tr.pos] = ev
+	a.tr.pos++
+	if a.tr.pos == len(a.tr.ring) {
+		a.tr.pos = 0
+		a.tr.full = true
+	}
+	a.tr.mu.Unlock()
+}
+
+// kindName maps protocol message kinds to stable names for traces.
+func kindName(k uint8) string {
+	switch k {
+	case msgReadReq:
+		return "read-req"
+	case msgWriteReq:
+		return "write-req"
+	case msgOperateReq:
+		return "operate-req"
+	case msgDataResp:
+		return "data-resp"
+	case msgOpGrant:
+		return "op-grant"
+	case msgInvalidate:
+		return "invalidate"
+	case msgInvAck:
+		return "inv-ack"
+	case msgDowngrade:
+		return "downgrade"
+	case msgRecall:
+		return "recall"
+	case msgOpRecall:
+		return "op-recall"
+	case msgWBData:
+		return "writeback"
+	case msgOpFlush:
+		return "op-flush"
+	case msgLockReq:
+		return "lock-req"
+	case msgLockGrant:
+		return "lock-grant"
+	case msgUnlock:
+		return "unlock"
+	}
+	return fmt.Sprintf("kind-%d", k)
+}

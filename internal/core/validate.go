@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"darray/internal/cluster"
+)
+
+// chunkView is a consistent snapshot of one dentry, taken on the
+// runtime goroutine that owns it (so reading the runtime-private fields
+// is race-free).
+type chunkView struct {
+	perm    uint32
+	op      OpID
+	busy    bool
+	pending bool
+	queued  int // waiters + deferred
+	dstate  uint8
+	sharers uint64
+	opNodes uint64
+	owner   int32
+	dop     OpID
+}
+
+// snapshotViews captures every chunk's view on this node via its owning
+// runtime goroutines.
+func (a *Array) snapshotViews() []chunkView {
+	views := make([]chunkView, a.sh.nChunks)
+	var wg sync.WaitGroup
+	for r := 0; r < a.node.Runtimes(); r++ {
+		wg.Add(1)
+		rt := a.node.Runtime(r)
+		r := r
+		rt.Submit(func(rt *cluster.Runtime) {
+			defer wg.Done()
+			for ci := int64(r); ci < a.sh.nChunks; ci += int64(a.node.Runtimes()) {
+				d := &a.dents[ci]
+				st := d.state.Load()
+				views[ci] = chunkView{
+					perm:    statePerm(st),
+					op:      stateOp(st),
+					busy:    d.busy,
+					pending: d.pending,
+					queued:  len(d.waiters) + len(d.defrd),
+					dstate:  d.dstate,
+					sharers: d.sharers,
+					opNodes: d.opNodes,
+					owner:   d.owner,
+					dop:     d.opID,
+				}
+			}
+		})
+	}
+	wg.Wait()
+	return views
+}
+
+// ValidateQuiesced checks the cross-node coherence invariants of the
+// extended protocol (paper Table 1) for every chunk of the array. It
+// must be called when the cluster is quiescent — all application
+// threads stopped at a barrier with no requests in flight — typically
+// from tests. It returns the first violation found.
+//
+// Invariants checked, per chunk:
+//
+//	Unshared: home holds RW; no other node holds any permission.
+//	Shared:   home holds Read; every non-home permission is Read, and
+//	          every reader is in the home's sharer set.
+//	Dirty:    exactly the registered owner holds RW; home holds nothing.
+//	Operated: home and the registered operating nodes hold Operated
+//	          with the registered operator; nobody holds Read/RW.
+func ValidateQuiesced(insts []*Array) error {
+	if len(insts) == 0 {
+		return fmt.Errorf("core: no instances to validate")
+	}
+	sh := insts[0].sh
+	views := make([][]chunkView, len(insts))
+	for v, a := range insts {
+		if a.sh != sh {
+			return fmt.Errorf("core: instances belong to different arrays")
+		}
+		views[v] = a.snapshotViews()
+	}
+	for ci := int64(0); ci < sh.nChunks; ci++ {
+		home := insts[0].homeOfChunk(ci)
+		hv := views[home][ci]
+		if hv.busy || hv.queued > 0 {
+			return fmt.Errorf("chunk %d: home not quiescent", ci)
+		}
+		switch hv.dstate {
+		case dirUnshared:
+			if hv.perm != permRW {
+				return fmt.Errorf("chunk %d: Unshared but home perm %d", ci, hv.perm)
+			}
+			for v := range insts {
+				if v != home && views[v][ci].perm != permInvalid {
+					return fmt.Errorf("chunk %d: Unshared but node %d holds perm %d",
+						ci, v, views[v][ci].perm)
+				}
+			}
+		case dirShared:
+			if hv.perm != permRead {
+				return fmt.Errorf("chunk %d: Shared but home perm %d", ci, hv.perm)
+			}
+			for v := range insts {
+				if v == home {
+					continue
+				}
+				p := views[v][ci].perm
+				if p == permInvalid {
+					continue
+				}
+				if p != permRead {
+					return fmt.Errorf("chunk %d: Shared but node %d holds perm %d", ci, v, p)
+				}
+				if hv.sharers&(1<<uint(v)) == 0 {
+					return fmt.Errorf("chunk %d: node %d reads without a sharer bit", ci, v)
+				}
+			}
+		case dirDirty:
+			if hv.perm != permInvalid {
+				return fmt.Errorf("chunk %d: Dirty but home perm %d", ci, hv.perm)
+			}
+			owner := int(hv.owner)
+			if owner < 0 || owner >= len(insts) || owner == home {
+				return fmt.Errorf("chunk %d: Dirty with bad owner %d", ci, owner)
+			}
+			for v := range insts {
+				if v == home {
+					continue
+				}
+				p := views[v][ci].perm
+				if v == owner && p != permRW {
+					return fmt.Errorf("chunk %d: owner %d holds perm %d, want RW", ci, v, p)
+				}
+				if v != owner && p != permInvalid {
+					return fmt.Errorf("chunk %d: Dirty but non-owner %d holds perm %d", ci, v, p)
+				}
+			}
+		case dirOperated:
+			if hv.perm != permOperated || hv.op != hv.dop {
+				return fmt.Errorf("chunk %d: Operated(%d) but home perm %d op %d",
+					ci, hv.dop, hv.perm, hv.op)
+			}
+			for v := range insts {
+				if v == home {
+					continue
+				}
+				cv := views[v][ci]
+				if cv.perm == permInvalid {
+					continue // evicted combiner: flush already merged
+				}
+				if cv.perm != permOperated || cv.op != hv.dop {
+					return fmt.Errorf("chunk %d: Operated(%d) but node %d perm %d op %d",
+						ci, hv.dop, v, cv.perm, cv.op)
+				}
+				if hv.opNodes&(1<<uint(v)) == 0 {
+					return fmt.Errorf("chunk %d: node %d combines without an opNodes bit", ci, v)
+				}
+			}
+		default:
+			return fmt.Errorf("chunk %d: unknown dstate %d", ci, hv.dstate)
+		}
+	}
+	return nil
+}
+
+// Instances returns every node's handle of this array (test support for
+// ValidateQuiesced).
+func (a *Array) Instances() []*Array {
+	out := make([]*Array, len(a.sh.insts))
+	copy(out, a.sh.insts)
+	return out
+}

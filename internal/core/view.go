@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math"
+
+	"darray/internal/cluster"
+)
+
+// F64 is a float64-typed view of an Array: the same distributed storage
+// accessed through math.Float64bits casts, mirroring how the paper's
+// PageRank example stores double-typed ranks in the 8-byte object array.
+type F64 struct{ *Array }
+
+// AsF64 returns a float64 view of the array.
+func (a *Array) AsF64() F64 { return F64{a} }
+
+// Get reads element i as a float64.
+func (f F64) Get(ctx *cluster.Ctx, i int64) float64 {
+	return math.Float64frombits(f.Array.Get(ctx, i))
+}
+
+// Set writes element i as a float64.
+func (f F64) Set(ctx *cluster.Ctx, i int64, v float64) {
+	f.Array.Set(ctx, i, math.Float64bits(v))
+}
+
+// Apply combines a float64 operand into element i.
+func (f F64) Apply(ctx *cluster.Ctx, op OpID, i int64, operand float64) {
+	f.Array.Apply(ctx, op, i, math.Float64bits(operand))
+}
+
+// I64 is an int64-typed view of an Array.
+type I64 struct{ *Array }
+
+// AsI64 returns an int64 view of the array.
+func (a *Array) AsI64() I64 { return I64{a} }
+
+// Get reads element i as an int64.
+func (v I64) Get(ctx *cluster.Ctx, i int64) int64 {
+	return int64(v.Array.Get(ctx, i))
+}
+
+// Set writes element i as an int64.
+func (v I64) Set(ctx *cluster.Ctx, i int64, x int64) {
+	v.Array.Set(ctx, i, uint64(x))
+}
+
+// Fill sets every element this node homes to x (a common collective
+// initialization idiom: each node fills its own partition, then the
+// cluster barriers).
+func (a *Array) Fill(ctx *cluster.Ctx, x uint64) {
+	lo, hi := a.LocalRange()
+	for i := lo; i < hi; i++ {
+		a.Set(ctx, i, x)
+	}
+}
+
+// FillF64 is Fill for a float64 value.
+func (f F64) FillF64(ctx *cluster.Ctx, x float64) {
+	f.Fill(ctx, math.Float64bits(x))
+}

@@ -1,0 +1,276 @@
+// Package engine is the distributed graph analytics engine built on
+// DArray (paper §5.1): a Polymer-style single-machine engine ported to
+// the cluster by replacing its shared-memory arrays with DArrays. Vertex
+// state lives in distributed arrays partitioned like the vertices; each
+// node walks its local vertices' out-edges and pushes contributions to
+// neighbor state through the Operate interface, which combines remote
+// updates locally and merges them at the home node.
+//
+// The same algorithms are also provided over the GAM baseline (lock-based
+// access path, exclusive atomics) for the Figure 16 comparison.
+package engine
+
+import (
+	"math"
+
+	"darray/internal/cluster"
+	"darray/internal/core"
+	"darray/internal/graph"
+)
+
+// Graph is one node's handle to a partitioned graph: the engine's
+// topology is edge-balanced across nodes, with partition boundaries
+// aligned to DArray chunks so vertex state arrays partition identically.
+type Graph struct {
+	node   *cluster.Node
+	csr    *graph.CSR
+	rev    *graph.CSR // transpose, built lazily for undirected traversals
+	bounds []int64
+	lo, hi int64 // local vertex range
+}
+
+// NewGraph collectively wraps csr for the cluster.
+func NewGraph(node *cluster.Node, csr *graph.CSR) *Graph {
+	c := node.Cluster()
+	cw := int64(c.Config().ChunkWords)
+	boundsAny := node.Collective(func() any {
+		b := csr.Partition(c.Nodes())
+		// Align to chunk boundaries so a DArray with PartitionOffset=b
+		// homes vertex v's state exactly on v's owner.
+		for i := 1; i < len(b)-1; i++ {
+			b[i] = (b[i] + cw - 1) / cw * cw
+			if b[i] > csr.N {
+				b[i] = csr.N
+			}
+			if b[i] < b[i-1] {
+				b[i] = b[i-1]
+			}
+		}
+		return b
+	})
+	bounds := boundsAny.([]int64)
+	return &Graph{
+		node:   node,
+		csr:    csr,
+		bounds: bounds,
+		lo:     bounds[node.ID()],
+		hi:     bounds[node.ID()+1],
+	}
+}
+
+// Bounds returns the vertex partition boundaries.
+func (eg *Graph) Bounds() []int64 { return eg.bounds }
+
+// LocalRange returns this node's vertex range [lo, hi).
+func (eg *Graph) LocalRange() (int64, int64) { return eg.lo, eg.hi }
+
+// CSR returns the topology.
+func (eg *Graph) CSR() *graph.CSR { return eg.csr }
+
+func (eg *Graph) newStateArray() *core.Array {
+	starts := eg.bounds[:len(eg.bounds)-1] // per-node start offsets
+	return core.New(eg.node, eg.csr.N, core.Options{PartitionOffset: starts})
+}
+
+const (
+	prDamping = 0.85
+)
+
+// PageRank runs iters rounds of synchronous PageRank and returns this
+// node's local slice of the final ranks. usePin selects the DArray-Pin
+// variant (paper Figure 16's DArray-Pin series): local sequential reads
+// and remote combining both run through pinned chunks.
+func (eg *Graph) PageRank(ctx *cluster.Ctx, iters int, usePin bool) []float64 {
+	c := eg.node.Cluster()
+	curr := eg.newStateArray().AsF64()
+	next := eg.newStateArray().AsF64()
+	add := curr.RegisterOp(core.OpAddF64)
+	_ = next.RegisterOp(core.OpAddF64) // same id on the other array
+	n := eg.csr.N
+
+	init := 1.0 / float64(n)
+	curr.FillF64(ctx, init)
+	next.FillF64(ctx, 0)
+	c.Barrier(ctx)
+
+	for it := 0; it < iters; it++ {
+		eg.scatterAdd(ctx, curr, next, add, usePin)
+		c.Barrier(ctx)
+		// Gather: fold damping; reuse curr as the next iteration's input.
+		base := (1 - prDamping) / float64(n)
+		for u := eg.lo; u < eg.hi; u++ {
+			r := base + prDamping*next.Get(ctx, u)
+			curr.Set(ctx, u, r)
+			next.Array.Set(ctx, u, 0)
+		}
+		c.Barrier(ctx)
+	}
+	out := make([]float64, eg.hi-eg.lo)
+	for u := eg.lo; u < eg.hi; u++ {
+		out[u-eg.lo] = curr.Get(ctx, u)
+	}
+	c.Barrier(ctx)
+	return out
+}
+
+// scatterAdd pushes curr[u]/deg(u) to every out-neighbor through the
+// Operate interface. With usePin, the reads of curr walk pinned chunks.
+func (eg *Graph) scatterAdd(ctx *cluster.Ctx, curr, next core.F64, add core.OpID, usePin bool) {
+	if !usePin {
+		for u := eg.lo; u < eg.hi; u++ {
+			deg := eg.csr.OutDegree(u)
+			if deg == 0 {
+				continue
+			}
+			contrib := curr.Get(ctx, u) / float64(deg)
+			for _, v := range eg.csr.Neighbors(u) {
+				next.Apply(ctx, add, v, contrib)
+			}
+		}
+		return
+	}
+	cw := curr.ChunkWords()
+	for base := eg.lo; base < eg.hi; {
+		p := curr.PinRead(ctx, base)
+		limit := p.Limit()
+		if limit > eg.hi {
+			limit = eg.hi
+		}
+		for u := base; u < limit; u++ {
+			deg := eg.csr.OutDegree(u)
+			if deg == 0 {
+				continue
+			}
+			contrib := math.Float64frombits(p.Get(ctx, u)) / float64(deg)
+			for _, v := range eg.csr.Neighbors(u) {
+				next.Apply(ctx, add, v, contrib)
+			}
+		}
+		p.Unpin(ctx)
+		base = (base/cw + 1) * cw
+	}
+}
+
+// reverse returns the transpose graph, built once per cluster and
+// shared read-only by every node.
+func (eg *Graph) reverse() *graph.CSR {
+	if eg.rev == nil {
+		eg.rev = eg.node.Collective(func() any { return eg.csr.Reverse() }).(*graph.CSR)
+	}
+	return eg.rev
+}
+
+// ConnectedComponents runs min-label propagation over the undirected
+// view of the graph until a fixed point, returning this node's labels
+// and the number of iterations.
+func (eg *Graph) ConnectedComponents(ctx *cluster.Ctx, usePin bool) ([]uint64, int) {
+	c := eg.node.Cluster()
+	eg.reverse() // materialize before timing-sensitive loops
+	curr := eg.newStateArray()
+	next := eg.newStateArray()
+	min := curr.RegisterOp(core.OpMinU64)
+	_ = next.RegisterOp(core.OpMinU64)
+
+	for u := eg.lo; u < eg.hi; u++ {
+		curr.Set(ctx, u, uint64(u))
+		next.Set(ctx, u, ^uint64(0))
+	}
+	c.Barrier(ctx)
+
+	iters := 0
+	for {
+		iters++
+		eg.scatterMin(ctx, curr, next, min, usePin)
+		c.Barrier(ctx)
+		changed := 0.0
+		for u := eg.lo; u < eg.hi; u++ {
+			cl := curr.Get(ctx, u)
+			if nl := next.Get(ctx, u); nl < cl {
+				curr.Set(ctx, u, nl)
+				changed = 1
+			}
+			next.Set(ctx, u, ^uint64(0))
+		}
+		if c.AllReduceSum(ctx, changed) == 0 {
+			break
+		}
+		c.Barrier(ctx)
+	}
+	out := make([]uint64, eg.hi-eg.lo)
+	for u := eg.lo; u < eg.hi; u++ {
+		out[u-eg.lo] = curr.Get(ctx, u)
+	}
+	c.Barrier(ctx)
+	return out, iters
+}
+
+func (eg *Graph) scatterMin(ctx *cluster.Ctx, curr, next *core.Array, min core.OpID, usePin bool) {
+	rev := eg.reverse()
+	// Undirected view: push the label along out-edges and in-edges.
+	push := func(u int64, label uint64) {
+		for _, v := range eg.csr.Neighbors(u) {
+			next.Apply(ctx, min, v, label)
+		}
+		for _, v := range rev.Neighbors(u) {
+			next.Apply(ctx, min, v, label)
+		}
+	}
+	if !usePin {
+		for u := eg.lo; u < eg.hi; u++ {
+			push(u, curr.Get(ctx, u))
+		}
+		return
+	}
+	cw := curr.ChunkWords()
+	for base := eg.lo; base < eg.hi; {
+		p := curr.PinRead(ctx, base)
+		limit := p.Limit()
+		if limit > eg.hi {
+			limit = eg.hi
+		}
+		for u := base; u < limit; u++ {
+			push(u, p.Get(ctx, u))
+		}
+		p.Unpin(ctx)
+		base = (base/cw + 1) * cw
+	}
+}
+
+// BFS computes hop distances from root with level-synchronous
+// min-propagation (an extension beyond the paper's two applications).
+// Unreachable vertices get ^uint64(0).
+func (eg *Graph) BFS(ctx *cluster.Ctx, root int64) []uint64 {
+	c := eg.node.Cluster()
+	dist := eg.newStateArray()
+	min := dist.RegisterOp(core.OpMinU64)
+	inf := ^uint64(0)
+	for u := eg.lo; u < eg.hi; u++ {
+		dist.Set(ctx, u, inf)
+	}
+	c.Barrier(ctx)
+	if root >= eg.lo && root < eg.hi {
+		dist.Set(ctx, root, 0)
+	}
+	c.Barrier(ctx)
+	for level := uint64(0); ; level++ {
+		advanced := 0.0
+		for u := eg.lo; u < eg.hi; u++ {
+			if dist.Get(ctx, u) != level {
+				continue
+			}
+			for _, v := range eg.csr.Neighbors(u) {
+				dist.Apply(ctx, min, v, level+1)
+				advanced = 1
+			}
+		}
+		if c.AllReduceSum(ctx, advanced) == 0 {
+			break
+		}
+	}
+	out := make([]uint64, eg.hi-eg.lo)
+	for u := eg.lo; u < eg.hi; u++ {
+		out[u-eg.lo] = dist.Get(ctx, u)
+	}
+	c.Barrier(ctx)
+	return out
+}

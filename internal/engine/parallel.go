@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"sync"
+
+	"darray/internal/cluster"
+	"darray/internal/core"
+)
+
+// Multithreaded variants: the paper's Figure 16 runs the engines with
+// all available cores per node. Each node's local vertex range is split
+// across t application threads; DArray's lock-free access path and the
+// Operated state's CAS combining are what let them share chunks without
+// engine-level locking.
+
+// PageRankMT runs PageRank with t application threads per node.
+func (eg *Graph) PageRankMT(node *cluster.Node, iters, t int, usePin bool) []float64 {
+	c := node.Cluster()
+	curr := eg.newStateArray().AsF64()
+	next := eg.newStateArray().AsF64()
+	add := curr.RegisterOp(core.OpAddF64)
+	_ = next.RegisterOp(core.OpAddF64)
+	n := eg.csr.N
+
+	root := node.NewCtx(0)
+	curr.FillF64(root, 1.0/float64(n))
+	next.FillF64(root, 0)
+	c.Barrier(root)
+
+	for it := 0; it < iters; it++ {
+		eg.parallelRange(node, t, func(ctx *cluster.Ctx, lo, hi int64) {
+			for u := lo; u < hi; u++ {
+				deg := eg.csr.OutDegree(u)
+				if deg == 0 {
+					continue
+				}
+				contrib := curr.Get(ctx, u) / float64(deg)
+				for _, v := range eg.csr.Neighbors(u) {
+					next.Apply(ctx, add, v, contrib)
+				}
+			}
+		})
+		c.Barrier(root)
+		base := (1 - prDamping) / float64(n)
+		eg.parallelRange(node, t, func(ctx *cluster.Ctx, lo, hi int64) {
+			for u := lo; u < hi; u++ {
+				curr.Set(ctx, u, base+prDamping*next.Get(ctx, u))
+				next.Array.Set(ctx, u, 0)
+			}
+		})
+		c.Barrier(root)
+	}
+	out := make([]float64, eg.hi-eg.lo)
+	for u := eg.lo; u < eg.hi; u++ {
+		out[u-eg.lo] = curr.Get(root, u)
+	}
+	c.Barrier(root)
+	return out
+}
+
+// ConnectedComponentsMT runs CC with t application threads per node.
+func (eg *Graph) ConnectedComponentsMT(node *cluster.Node, t int) ([]uint64, int) {
+	c := node.Cluster()
+	rev := eg.reverse()
+	curr := eg.newStateArray()
+	next := eg.newStateArray()
+	min := curr.RegisterOp(core.OpMinU64)
+	_ = next.RegisterOp(core.OpMinU64)
+
+	root := node.NewCtx(0)
+	for u := eg.lo; u < eg.hi; u++ {
+		curr.Set(root, u, uint64(u))
+		next.Set(root, u, ^uint64(0))
+	}
+	c.Barrier(root)
+	iters := 0
+	for {
+		iters++
+		eg.parallelRange(node, t, func(ctx *cluster.Ctx, lo, hi int64) {
+			for u := lo; u < hi; u++ {
+				label := curr.Get(ctx, u)
+				for _, v := range eg.csr.Neighbors(u) {
+					next.Apply(ctx, min, v, label)
+				}
+				for _, v := range rev.Neighbors(u) {
+					next.Apply(ctx, min, v, label)
+				}
+			}
+		})
+		c.Barrier(root)
+		var changed atomicFloat
+		eg.parallelRange(node, t, func(ctx *cluster.Ctx, lo, hi int64) {
+			for u := lo; u < hi; u++ {
+				cl := curr.Get(ctx, u)
+				if nl := next.Get(ctx, u); nl < cl {
+					curr.Set(ctx, u, nl)
+					changed.set()
+				}
+				next.Set(ctx, u, ^uint64(0))
+			}
+		})
+		if c.AllReduceSum(root, changed.get()) == 0 {
+			break
+		}
+		c.Barrier(root)
+	}
+	out := make([]uint64, eg.hi-eg.lo)
+	for u := eg.lo; u < eg.hi; u++ {
+		out[u-eg.lo] = curr.Get(root, u)
+	}
+	c.Barrier(root)
+	return out, iters
+}
+
+// parallelRange splits this node's vertex range across t threads.
+func (eg *Graph) parallelRange(node *cluster.Node, t int, fn func(ctx *cluster.Ctx, lo, hi int64)) {
+	if t <= 1 {
+		fn(node.NewCtx(0), eg.lo, eg.hi)
+		return
+	}
+	span := eg.hi - eg.lo
+	var wg sync.WaitGroup
+	for i := 0; i < t; i++ {
+		lo := eg.lo + span*int64(i)/int64(t)
+		hi := eg.lo + span*int64(i+1)/int64(t)
+		wg.Add(1)
+		go func(tid int, lo, hi int64) {
+			defer wg.Done()
+			fn(node.NewCtx(tid), lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+}
+
+// atomicFloat is a tiny sticky changed-flag usable from many threads.
+type atomicFloat struct {
+	mu  sync.Mutex
+	val float64
+}
+
+func (a *atomicFloat) set() {
+	a.mu.Lock()
+	a.val = 1
+	a.mu.Unlock()
+}
+
+func (a *atomicFloat) get() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.val
+}

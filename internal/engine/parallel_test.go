@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"darray/internal/cluster"
+)
+
+func TestPageRankMTMatchesSingleThread(t *testing.T) {
+	g := testGraph()
+	want := refPageRank(g, 4)
+	c := tc(t, 2)
+	locals := make([][]float64, 2)
+	var bounds []int64
+	c.Run(func(n *cluster.Node) {
+		eg := NewGraph(n, g)
+		if n.ID() == 0 {
+			bounds = eg.Bounds()
+		}
+		locals[n.ID()] = eg.PageRankMT(n, 4, 3, false)
+	})
+	got := gatherF64(c, bounds, locals)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("mt rank[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConnectedComponentsMTMatchesReference(t *testing.T) {
+	g := testGraph()
+	want := refCC(g)
+	c := tc(t, 2)
+	locals := make([][]uint64, 2)
+	var bounds []int64
+	c.Run(func(n *cluster.Node) {
+		eg := NewGraph(n, g)
+		if n.ID() == 0 {
+			bounds = eg.Bounds()
+		}
+		labels, iters := eg.ConnectedComponentsMT(n, 3)
+		if iters < 1 {
+			t.Errorf("iters = %d", iters)
+		}
+		locals[n.ID()] = labels
+	})
+	got := make([]uint64, g.N)
+	for p, l := range locals {
+		copy(got[bounds[p]:], l)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mt label[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParallelRangeCoversExactly(t *testing.T) {
+	g := testGraph()
+	c := tc(t, 2)
+	c.Run(func(n *cluster.Node) {
+		eg := NewGraph(n, g)
+		seen := make([]int32, eg.hi-eg.lo)
+		var mu chan struct{} = make(chan struct{}, 1)
+		mu <- struct{}{}
+		eg.parallelRange(n, 4, func(_ *cluster.Ctx, lo, hi int64) {
+			<-mu
+			for u := lo; u < hi; u++ {
+				seen[u-eg.lo]++
+			}
+			mu <- struct{}{}
+		})
+		for i, v := range seen {
+			if v != 1 {
+				t.Errorf("vertex %d covered %d times", eg.lo+int64(i), v)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"math"
+
+	"darray/internal/cluster"
+	"darray/internal/core"
+	"darray/internal/graph"
+)
+
+// SSSP computes single-source shortest paths over a weighted graph with
+// Bellman-Ford-style rounds of min-combining (an extension beyond the
+// paper's two applications, exercising OpMinF64 through the Operated
+// state). Unreachable vertices get +Inf. All nodes must pass the same
+// weighted view of the engine's topology.
+func (eg *Graph) SSSP(ctx *cluster.Ctx, w *graph.WCSR, root int64) []float64 {
+	if w.N != eg.csr.N {
+		panic("engine: weighted view does not match the engine's graph")
+	}
+	c := eg.node.Cluster()
+	dist := eg.newStateArray().AsF64()
+	next := eg.newStateArray().AsF64()
+	min := dist.RegisterOp(core.OpMinF64)
+	_ = next.RegisterOp(core.OpMinF64)
+
+	inf := math.Inf(1)
+	for u := eg.lo; u < eg.hi; u++ {
+		dist.Set(ctx, u, inf)
+		next.Set(ctx, u, inf)
+	}
+	c.Barrier(ctx)
+	if root >= eg.lo && root < eg.hi {
+		dist.Set(ctx, root, 0)
+	}
+	c.Barrier(ctx)
+
+	for {
+		// Relax every local vertex's out-edges into next.
+		for u := eg.lo; u < eg.hi; u++ {
+			du := dist.Get(ctx, u)
+			if math.IsInf(du, 1) {
+				continue
+			}
+			ws := w.EdgeWeights(u)
+			for k, v := range w.Neighbors(u) {
+				next.Apply(ctx, min, v, du+ws[k])
+			}
+		}
+		c.Barrier(ctx)
+		changed := 0.0
+		for u := eg.lo; u < eg.hi; u++ {
+			du := dist.Get(ctx, u)
+			if nu := next.Get(ctx, u); nu < du {
+				dist.Set(ctx, u, nu)
+				changed = 1
+			}
+			next.Set(ctx, u, inf)
+		}
+		if c.AllReduceSum(ctx, changed) == 0 {
+			break
+		}
+		c.Barrier(ctx)
+	}
+	out := make([]float64, eg.hi-eg.lo)
+	for u := eg.lo; u < eg.hi; u++ {
+		out[u-eg.lo] = dist.Get(ctx, u)
+	}
+	c.Barrier(ctx)
+	return out
+}

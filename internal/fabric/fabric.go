@@ -1,0 +1,231 @@
+// Package fabric simulates an RDMA network: per-node endpoints (RNICs)
+// connected by full-duplex links, two-sided SEND/RECV message delivery
+// with per-queue-pair FIFO ordering, one-sided READ/WRITE/CAS verbs
+// against registered memory regions, and the cost accounting the paper's
+// communication layer relies on (selective signaling, doorbell posts,
+// bandwidth serialization on links).
+//
+// Functionally the fabric is an in-process message switch; temporally it
+// charges virtual time (see internal/vtime): every message carries the
+// virtual instant it becomes visible at the receiver, computed from the
+// sender's ready time, the per-direction link bandwidth resource, and the
+// wire latency. One-sided verbs block the caller and advance the caller's
+// clock by a full round trip, exactly like a synchronous ibv_post_send +
+// completion poll.
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"darray/internal/queue"
+	"darray/internal/vtime"
+)
+
+// Message is one two-sided SEND. The payload layout (Kind, Chunk, ...)
+// belongs to the protocol layers; the fabric only reads From/To/Data
+// sizes and the VT stamps.
+type Message struct {
+	From, To int
+	Array    uint32 // which distributed array / data structure instance
+	Kind     uint8  // protocol message kind (opaque here)
+	Chunk    int64
+	OpID     int32
+	Seq      uint32
+	Idx      int64
+	Val      uint64
+	Flag     bool
+	Data     []uint64 // chunk payload, if any
+
+	// VT is the virtual time at which the message is visible at the
+	// receiver. Senders set SendVT (their ready time); Post fills VT.
+	VT     int64
+	SendVT int64
+}
+
+const msgHeaderBytes = 64 // wire size of a payload-free protocol message
+
+// Bytes returns the message's wire size.
+func (m *Message) Bytes() int { return msgHeaderBytes + 8*len(m.Data) }
+
+// Counters aggregates per-endpoint traffic statistics.
+type Counters struct {
+	MsgsSent     atomic.Int64
+	BytesSent    atomic.Int64
+	OneSidedOps  atomic.Int64
+	OneSidedByte atomic.Int64
+}
+
+// Config describes a fabric instance.
+type Config struct {
+	Nodes int
+	Model *vtime.Model // nil disables virtual-time charging
+}
+
+// Fabric connects Nodes endpoints.
+type Fabric struct {
+	cfg Config
+	eps []*Endpoint
+}
+
+// New builds a fabric with cfg.Nodes endpoints.
+func New(cfg Config) *Fabric {
+	if cfg.Nodes <= 0 {
+		panic("fabric: Nodes must be positive")
+	}
+	f := &Fabric{cfg: cfg}
+	f.eps = make([]*Endpoint, cfg.Nodes)
+	for i := range f.eps {
+		f.eps[i] = &Endpoint{
+			fab:  f,
+			id:   i,
+			rx:   queue.NewMPSC[*Message](),
+			tx:   make([]vtime.Resource, cfg.Nodes),
+			mrs:  make(map[uint32][]uint64),
+			stop: make(chan struct{}),
+		}
+	}
+	return f
+}
+
+// Endpoint returns node id's NIC.
+func (f *Fabric) Endpoint(id int) *Endpoint { return f.eps[id] }
+
+// Nodes returns the endpoint count.
+func (f *Fabric) Nodes() int { return f.cfg.Nodes }
+
+// Model returns the fabric's virtual-time model (may be nil).
+func (f *Fabric) Model() *vtime.Model { return f.cfg.Model }
+
+// Close releases all endpoints, waking any parked receivers.
+func (f *Fabric) Close() {
+	for _, ep := range f.eps {
+		ep.closeOnce.Do(func() { close(ep.stop) })
+	}
+}
+
+// Endpoint is one node's simulated RNIC.
+type Endpoint struct {
+	fab *Fabric
+	id  int
+
+	rx *queue.MPSC[*Message]
+	tx []vtime.Resource // per-destination egress bandwidth resource
+
+	mrMu sync.RWMutex
+	mrs  map[uint32][]uint64 // registered memory regions, by key
+
+	stats     Counters
+	stop      chan struct{}
+	closeOnce sync.Once
+}
+
+// ID returns the node id of this endpoint.
+func (e *Endpoint) ID() int { return e.id }
+
+// Stats exposes the endpoint's traffic counters.
+func (e *Endpoint) Stats() *Counters { return &e.stats }
+
+// RegisterMR registers a memory region for one-sided access under key.
+// Keys are global per node (array id, typically).
+func (e *Endpoint) RegisterMR(key uint32, words []uint64) {
+	e.mrMu.Lock()
+	defer e.mrMu.Unlock()
+	e.mrs[key] = words
+}
+
+// DeregisterMR removes a region.
+func (e *Endpoint) DeregisterMR(key uint32) {
+	e.mrMu.Lock()
+	defer e.mrMu.Unlock()
+	delete(e.mrs, key)
+}
+
+func (e *Endpoint) region(key uint32) []uint64 {
+	e.mrMu.RLock()
+	defer e.mrMu.RUnlock()
+	r, ok := e.mrs[key]
+	if !ok {
+		panic(fmt.Sprintf("fabric: node %d has no MR %d", e.id, key))
+	}
+	return r
+}
+
+// Post transmits m as a two-sided SEND. m.SendVT must hold the sender's
+// virtual ready time (0 when no model). Delivery preserves per-pair FIFO
+// because each node posts from a single Tx goroutine.
+func (e *Endpoint) Post(m *Message) {
+	m.From = e.id
+	dst := e.fab.eps[m.To]
+	if mdl := e.fab.cfg.Model; mdl != nil {
+		_, end := e.tx[m.To].Acquire(m.SendVT, mdl.XferCost(m.Bytes()))
+		m.VT = end + mdl.Wire
+	}
+	e.stats.MsgsSent.Add(1)
+	e.stats.BytesSent.Add(int64(m.Bytes()))
+	dst.rx.Push(m)
+}
+
+// Poll retrieves one received message without blocking.
+func (e *Endpoint) Poll() (*Message, bool) { return e.rx.Pop() }
+
+// PollWait blocks until a message arrives or the fabric is closed.
+func (e *Endpoint) PollWait() (*Message, bool) { return e.rx.PopWait(e.stop) }
+
+// Done exposes the endpoint's close channel (for Rx loops that select).
+func (e *Endpoint) Done() <-chan struct{} { return e.stop }
+
+// roundTrip charges clock for a one-sided verb moving n payload bytes and
+// returns after the virtual round trip completes.
+func (e *Endpoint) roundTrip(clock *vtime.Clock, to int, bytes int) {
+	e.stats.OneSidedOps.Add(1)
+	e.stats.OneSidedByte.Add(int64(bytes))
+	mdl := e.fab.cfg.Model
+	if mdl == nil || clock == nil {
+		return
+	}
+	_, end := e.tx[to].Acquire(clock.Now()+mdl.SendCost(), mdl.XferCost(bytes))
+	clock.AdvanceTo(end + mdl.RTT8 + mdl.PollCQ)
+}
+
+// ReadWord performs a one-sided 8-byte READ from (node to, region key,
+// word offset off).
+func (e *Endpoint) ReadWord(clock *vtime.Clock, to int, key uint32, off int64) uint64 {
+	e.roundTrip(clock, to, 8)
+	r := e.fab.eps[to].region(key)
+	return atomic.LoadUint64(&r[off])
+}
+
+// WriteWord performs a one-sided 8-byte WRITE.
+func (e *Endpoint) WriteWord(clock *vtime.Clock, to int, key uint32, off int64, v uint64) {
+	e.roundTrip(clock, to, 8)
+	r := e.fab.eps[to].region(key)
+	atomic.StoreUint64(&r[off], v)
+}
+
+// CompareAndSwap performs a one-sided atomic CAS (used by baselines for
+// remote read-modify-write without a coherence protocol).
+func (e *Endpoint) CompareAndSwap(clock *vtime.Clock, to int, key uint32, off int64, old, new uint64) bool {
+	e.roundTrip(clock, to, 8)
+	r := e.fab.eps[to].region(key)
+	return atomic.CompareAndSwapUint64(&r[off], old, new)
+}
+
+// ReadWords performs a one-sided READ of n words into dst.
+func (e *Endpoint) ReadWords(clock *vtime.Clock, to int, key uint32, off int64, dst []uint64) {
+	e.roundTrip(clock, to, 8*len(dst))
+	r := e.fab.eps[to].region(key)
+	for i := range dst {
+		dst[i] = atomic.LoadUint64(&r[off+int64(i)])
+	}
+}
+
+// WriteWords performs a one-sided WRITE of src.
+func (e *Endpoint) WriteWords(clock *vtime.Clock, to int, key uint32, off int64, src []uint64) {
+	e.roundTrip(clock, to, 8*len(src))
+	r := e.fab.eps[to].region(key)
+	for i, v := range src {
+		atomic.StoreUint64(&r[off+int64(i)], v)
+	}
+}

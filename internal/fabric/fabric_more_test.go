@@ -1,0 +1,84 @@
+package fabric
+
+import (
+	"testing"
+
+	"darray/internal/vtime"
+)
+
+func TestDeregisterMR(t *testing.T) {
+	f := New(Config{Nodes: 2})
+	defer f.Close()
+	mem := make([]uint64, 4)
+	f.Endpoint(1).RegisterMR(3, mem)
+	f.Endpoint(0).WriteWord(nil, 1, 3, 0, 5)
+	f.Endpoint(1).DeregisterMR(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("access after deregister should panic")
+		}
+	}()
+	f.Endpoint(0).ReadWord(nil, 1, 3, 0)
+}
+
+func TestReRegisterMRReplaces(t *testing.T) {
+	f := New(Config{Nodes: 2})
+	defer f.Close()
+	a := make([]uint64, 4)
+	b := make([]uint64, 4)
+	f.Endpoint(1).RegisterMR(3, a)
+	f.Endpoint(1).RegisterMR(3, b) // replace
+	f.Endpoint(0).WriteWord(nil, 1, 3, 0, 9)
+	if a[0] != 0 || b[0] != 9 {
+		t.Fatalf("write landed in wrong region: a=%v b=%v", a, b)
+	}
+}
+
+func TestDoneSignalsAfterClose(t *testing.T) {
+	f := New(Config{Nodes: 1})
+	ep := f.Endpoint(0)
+	select {
+	case <-ep.Done():
+		t.Fatal("Done fired before Close")
+	default:
+	}
+	f.Close()
+	select {
+	case <-ep.Done():
+	default:
+		t.Fatal("Done not closed after Close")
+	}
+	f.Close() // idempotent
+}
+
+func TestMessageBytes(t *testing.T) {
+	m := &Message{Data: make([]uint64, 10)}
+	if m.Bytes() != msgHeaderBytes+80 {
+		t.Fatalf("Bytes = %d", m.Bytes())
+	}
+	m2 := &Message{}
+	if m2.Bytes() != msgHeaderBytes {
+		t.Fatalf("empty Bytes = %d", m2.Bytes())
+	}
+}
+
+func TestCrossTraffic(t *testing.T) {
+	// Bidirectional simultaneous traffic must not interfere.
+	f := New(Config{Nodes: 2, Model: vtime.Default()})
+	defer f.Close()
+	const n = 200
+	for i := uint32(0); i < n; i++ {
+		f.Endpoint(0).Post(&Message{To: 1, Seq: i})
+		f.Endpoint(1).Post(&Message{To: 0, Seq: i})
+	}
+	for i := uint32(0); i < n; i++ {
+		m0, ok0 := f.Endpoint(0).Poll()
+		m1, ok1 := f.Endpoint(1).Poll()
+		if !ok0 || !ok1 || m0.Seq != i || m1.Seq != i {
+			t.Fatalf("cross traffic disorder at %d", i)
+		}
+		if m0.From != 1 || m1.From != 0 {
+			t.Fatal("From not stamped")
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package fabric
+
+import (
+	"sync"
+	"testing"
+
+	"darray/internal/vtime"
+)
+
+func newTestFabric(nodes int, model *vtime.Model) *Fabric {
+	return New(Config{Nodes: nodes, Model: model})
+}
+
+func TestPostDeliver(t *testing.T) {
+	f := newTestFabric(2, nil)
+	defer f.Close()
+	f.Endpoint(0).Post(&Message{To: 1, Kind: 7, Chunk: 42})
+	m, ok := f.Endpoint(1).Poll()
+	if !ok {
+		t.Fatal("no message delivered")
+	}
+	if m.From != 0 || m.Kind != 7 || m.Chunk != 42 {
+		t.Fatalf("bad message: %+v", m)
+	}
+	if _, ok := f.Endpoint(1).Poll(); ok {
+		t.Fatal("spurious second message")
+	}
+}
+
+func TestPerPairFIFO(t *testing.T) {
+	f := newTestFabric(2, nil)
+	defer f.Close()
+	const n = 1000
+	for i := uint32(0); i < n; i++ {
+		f.Endpoint(0).Post(&Message{To: 1, Seq: i})
+	}
+	for i := uint32(0); i < n; i++ {
+		m, ok := f.Endpoint(1).Poll()
+		if !ok || m.Seq != i {
+			t.Fatalf("message %d: got (%v,%v)", i, m, ok)
+		}
+	}
+}
+
+func TestPollWaitAndClose(t *testing.T) {
+	f := newTestFabric(2, nil)
+	got := make(chan *Message, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			m, ok := f.Endpoint(1).PollWait()
+			if !ok {
+				close(got)
+				return
+			}
+			got <- m
+		}
+	}()
+	f.Endpoint(0).Post(&Message{To: 1, Val: 9})
+	if m := <-got; m.Val != 9 {
+		t.Fatalf("got %+v", m)
+	}
+	f.Close()
+	wg.Wait()
+	if _, ok := <-got; ok {
+		t.Fatal("receiver did not observe close")
+	}
+}
+
+func TestOneSidedReadWrite(t *testing.T) {
+	f := newTestFabric(3, nil)
+	defer f.Close()
+	mem := make([]uint64, 16)
+	f.Endpoint(2).RegisterMR(5, mem)
+	var clk vtime.Clock
+	f.Endpoint(0).WriteWord(&clk, 2, 5, 3, 777)
+	if mem[3] != 777 {
+		t.Fatalf("WriteWord did not land: %v", mem)
+	}
+	if got := f.Endpoint(1).ReadWord(&clk, 2, 5, 3); got != 777 {
+		t.Fatalf("ReadWord = %d, want 777", got)
+	}
+}
+
+func TestOneSidedBulk(t *testing.T) {
+	f := newTestFabric(2, nil)
+	defer f.Close()
+	mem := make([]uint64, 64)
+	f.Endpoint(1).RegisterMR(1, mem)
+	src := []uint64{10, 20, 30, 40}
+	f.Endpoint(0).WriteWords(nil, 1, 1, 8, src)
+	dst := make([]uint64, 4)
+	f.Endpoint(0).ReadWords(nil, 1, 1, 8, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("bulk mismatch at %d: %d != %d", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestOneSidedCAS(t *testing.T) {
+	f := newTestFabric(2, nil)
+	defer f.Close()
+	mem := make([]uint64, 4)
+	mem[0] = 5
+	f.Endpoint(1).RegisterMR(9, mem)
+	if !f.Endpoint(0).CompareAndSwap(nil, 1, 9, 0, 5, 6) {
+		t.Fatal("CAS with matching old failed")
+	}
+	if f.Endpoint(0).CompareAndSwap(nil, 1, 9, 0, 5, 7) {
+		t.Fatal("CAS with stale old succeeded")
+	}
+	if mem[0] != 6 {
+		t.Fatalf("mem[0] = %d, want 6", mem[0])
+	}
+}
+
+func TestVirtualTimeRoundTrip(t *testing.T) {
+	m := vtime.Default()
+	f := newTestFabric(2, m)
+	defer f.Close()
+	mem := make([]uint64, 4)
+	f.Endpoint(1).RegisterMR(1, mem)
+	var clk vtime.Clock
+	f.Endpoint(0).ReadWord(&clk, 1, 1, 0)
+	min := m.RTT8 // at least a full round trip
+	if clk.Now() < min {
+		t.Fatalf("clock advanced %d ns, want >= %d", clk.Now(), min)
+	}
+	// A second op serializes behind the first on the same link.
+	t1 := clk.Now()
+	f.Endpoint(0).ReadWord(&clk, 1, 1, 0)
+	if clk.Now() <= t1 {
+		t.Fatal("second one-sided op did not advance the clock")
+	}
+}
+
+func TestPostStampsArrivalVT(t *testing.T) {
+	m := vtime.Default()
+	f := newTestFabric(2, m)
+	defer f.Close()
+	msg := &Message{To: 1, SendVT: 1000, Data: make([]uint64, 512)}
+	f.Endpoint(0).Post(msg)
+	got, _ := f.Endpoint(1).Poll()
+	wantMin := int64(1000) + m.Wire + m.XferCost(got.Bytes())
+	if got.VT < wantMin {
+		t.Fatalf("arrival VT = %d, want >= %d", got.VT, wantMin)
+	}
+}
+
+func TestLinkBandwidthSerializes(t *testing.T) {
+	m := vtime.Default()
+	f := newTestFabric(2, m)
+	defer f.Close()
+	// Two large messages posted back-to-back at SendVT 0 must have
+	// strictly increasing arrival VTs separated by at least XferCost.
+	a := &Message{To: 1, Data: make([]uint64, 4096)}
+	b := &Message{To: 1, Data: make([]uint64, 4096)}
+	f.Endpoint(0).Post(a)
+	f.Endpoint(0).Post(b)
+	ra, _ := f.Endpoint(1).Poll()
+	rb, _ := f.Endpoint(1).Poll()
+	if rb.VT-ra.VT < m.XferCost(a.Bytes()) {
+		t.Fatalf("no bandwidth serialization: %d then %d", ra.VT, rb.VT)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	f := newTestFabric(2, nil)
+	defer f.Close()
+	mem := make([]uint64, 4)
+	f.Endpoint(1).RegisterMR(1, mem)
+	f.Endpoint(0).Post(&Message{To: 1})
+	f.Endpoint(0).ReadWord(nil, 1, 1, 0)
+	st := f.Endpoint(0).Stats()
+	if st.MsgsSent.Load() != 1 || st.OneSidedOps.Load() != 1 {
+		t.Fatalf("counters: %d msgs, %d one-sided", st.MsgsSent.Load(), st.OneSidedOps.Load())
+	}
+	if st.BytesSent.Load() != msgHeaderBytes {
+		t.Fatalf("bytes = %d, want %d", st.BytesSent.Load(), msgHeaderBytes)
+	}
+}
+
+func TestUnknownMRPanics(t *testing.T) {
+	f := newTestFabric(2, nil)
+	defer f.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown MR")
+		}
+	}()
+	f.Endpoint(0).ReadWord(nil, 1, 99, 0)
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Nodes=0")
+		}
+	}()
+	New(Config{Nodes: 0})
+}

@@ -1,0 +1,108 @@
+package gam
+
+import (
+	"testing"
+
+	"darray/internal/cluster"
+)
+
+func tc(t *testing.T, nodes int) *cluster.Cluster {
+	t.Helper()
+	c := cluster.New(cluster.Config{Nodes: nodes, ChunkWords: 64, CacheChunks: 64})
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestGetSetRoundTrip(t *testing.T) {
+	c := tc(t, 2)
+	c.Run(func(n *cluster.Node) {
+		g := New(n, 2*64)
+		ctx := n.NewCtx(0)
+		if n.ID() == 0 {
+			for i := int64(0); i < 64; i++ {
+				g.Set(ctx, i, uint64(i)*2)
+			}
+		}
+		c.Barrier(ctx)
+		if n.ID() == 1 {
+			for i := int64(0); i < 64; i++ {
+				if got := g.Get(ctx, i); got != uint64(i)*2 {
+					t.Errorf("g[%d] = %d, want %d", i, got, i*2)
+					return
+				}
+			}
+		}
+		c.Barrier(ctx)
+	})
+}
+
+func TestAtomicAcrossNodes(t *testing.T) {
+	const nodes, iters = 3, 100
+	c := tc(t, nodes)
+	c.Run(func(n *cluster.Node) {
+		g := New(n, 3*64)
+		ctx := n.NewCtx(0)
+		c.Barrier(ctx)
+		for k := 0; k < iters; k++ {
+			g.Atomic(ctx, 5, func(v uint64) uint64 { return v + 1 })
+		}
+		c.Barrier(ctx)
+		if got := g.Get(ctx, 5); got != nodes*iters {
+			t.Errorf("atomic counter = %d, want %d", got, nodes*iters)
+		}
+		c.Barrier(ctx)
+	})
+}
+
+func TestAtomicConcurrentThreads(t *testing.T) {
+	c := tc(t, 2)
+	c.Run(func(n *cluster.Node) {
+		g := New(n, 2*64)
+		root := n.NewCtx(0)
+		c.Barrier(root)
+		n.RunThreads(4, func(ctx *cluster.Ctx) {
+			for k := 0; k < 50; k++ {
+				g.Atomic(ctx, 9, func(v uint64) uint64 { return v + 2 })
+			}
+		})
+		c.Barrier(root)
+		if got := g.Get(root, 9); got != 2*4*50*2 {
+			t.Errorf("counter = %d, want 800", got)
+		}
+		c.Barrier(root)
+	})
+}
+
+func TestLocks(t *testing.T) {
+	const nodes, iters = 2, 40
+	c := tc(t, nodes)
+	c.Run(func(n *cluster.Node) {
+		g := New(n, 2*64)
+		ctx := n.NewCtx(0)
+		c.Barrier(ctx)
+		for k := 0; k < iters; k++ {
+			g.WLock(ctx, 3)
+			g.Set(ctx, 3, g.Get(ctx, 3)+1)
+			g.Unlock(ctx, 3)
+		}
+		c.Barrier(ctx)
+		if got := g.Get(ctx, 3); got != nodes*iters {
+			t.Errorf("locked counter = %d, want %d", got, nodes*iters)
+		}
+		c.Barrier(ctx)
+	})
+}
+
+func TestLocalRange(t *testing.T) {
+	c := tc(t, 2)
+	c.Run(func(n *cluster.Node) {
+		g := New(n, 2*64)
+		lo, hi := g.LocalRange()
+		if hi-lo != 64 {
+			t.Errorf("node %d owns %d elements, want 64", n.ID(), hi-lo)
+		}
+		if g.HomeOf(lo) != n.ID() {
+			t.Errorf("HomeOf(%d) != %d", lo, n.ID())
+		}
+	})
+}

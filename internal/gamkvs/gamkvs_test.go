@@ -1,0 +1,62 @@
+package gamkvs
+
+import (
+	"fmt"
+	"testing"
+
+	"darray/internal/cluster"
+	"darray/internal/kvs"
+)
+
+func TestGamKVSPutGetAcrossNodes(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 2, ChunkWords: 64, CacheChunks: 256})
+	defer c.Close()
+	c.Run(func(n *cluster.Node) {
+		s := New(n, kvs.Config{Buckets: 64, ByteWords: 1 << 17})
+		ctx := n.NewCtx(0)
+		c.Barrier(ctx)
+		for i := 0; i < 30; i++ {
+			k := []byte(fmt.Sprintf("n%d-%d", n.ID(), i))
+			if err := s.Put(ctx, k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+		c.Barrier(ctx)
+		for v := 0; v < 2; v++ {
+			for i := 0; i < 30; i++ {
+				k := []byte(fmt.Sprintf("n%d-%d", v, i))
+				got, err := s.Get(ctx, k)
+				if err != nil || string(got) != fmt.Sprintf("v%d", i) {
+					t.Errorf("get %s = (%q, %v)", k, got, err)
+					return
+				}
+			}
+		}
+		c.Barrier(ctx)
+	})
+}
+
+func TestGamKVSConcurrentThreads(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 2, ChunkWords: 64, CacheChunks: 256})
+	defer c.Close()
+	c.Run(func(n *cluster.Node) {
+		s := New(n, kvs.Config{Buckets: 64, ByteWords: 1 << 17})
+		root := n.NewCtx(0)
+		c.Barrier(root)
+		n.RunThreads(2, func(ctx *cluster.Ctx) {
+			for i := 0; i < 25; i++ {
+				k := []byte(fmt.Sprintf("t%d-%d-%d", n.ID(), ctx.TID, i))
+				if err := s.Put(ctx, k, k); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if got, err := s.Get(ctx, k); err != nil || string(got) != string(k) {
+					t.Errorf("get-own-write %s = (%q, %v)", k, got, err)
+					return
+				}
+			}
+		})
+		c.Barrier(root)
+	})
+}

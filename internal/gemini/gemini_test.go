@@ -1,0 +1,198 @@
+package gemini
+
+import (
+	"math"
+	"testing"
+
+	"darray/internal/cluster"
+	"darray/internal/graph"
+)
+
+func refPageRank(g *graph.CSR, iters int) []float64 {
+	n := g.N
+	curr := make([]float64, n)
+	next := make([]float64, n)
+	for i := range curr {
+		curr[i] = 1.0 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for u := int64(0); u < n; u++ {
+			deg := g.OutDegree(u)
+			if deg == 0 {
+				continue
+			}
+			c := curr[u] / float64(deg)
+			for _, v := range g.Neighbors(u) {
+				next[v] += c
+			}
+		}
+		base := (1 - 0.85) / float64(n)
+		for i := range curr {
+			curr[i] = base + 0.85*next[i]
+		}
+	}
+	return curr
+}
+
+func tc(t *testing.T, nodes int) *cluster.Cluster {
+	t.Helper()
+	c := cluster.New(cluster.Config{Nodes: nodes})
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestGeminiPageRankMatchesReference(t *testing.T) {
+	g := graph.RMAT(graph.RMATConfig{Scale: 9, EdgeFactor: 4, A: 0.57, B: 0.19, C: 0.19, Seed: 3})
+	want := refPageRank(g, 5)
+	c := tc(t, 3)
+	locals := make([][]float64, 3)
+	bounds := make([][]int64, 3)
+	c.Run(func(n *cluster.Node) {
+		e := New(n, g)
+		lo, hi := e.LocalRange()
+		bounds[n.ID()] = []int64{lo, hi}
+		locals[n.ID()] = e.PageRank(n.NewCtx(0), 5)
+	})
+	got := make([]float64, g.N)
+	for p := range locals {
+		copy(got[bounds[p][0]:bounds[p][1]], locals[p])
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("rank[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGeminiCCOnRing(t *testing.T) {
+	g := graph.Ring(300)
+	c := tc(t, 3)
+	c.Run(func(n *cluster.Node) {
+		e := New(n, g)
+		labels, iters := e.ConnectedComponents(n.NewCtx(0))
+		if iters < 1 {
+			t.Errorf("iters = %d", iters)
+		}
+		for i, l := range labels {
+			if l != 0 {
+				t.Errorf("ring label[%d] = %d, want 0", i, l)
+				return
+			}
+		}
+	})
+}
+
+func TestGeminiCCTwoComponents(t *testing.T) {
+	// Two disjoint rings: 0..149 and 150..299.
+	srcs := make([]int64, 0, 300)
+	dsts := make([]int64, 0, 300)
+	for u := int64(0); u < 150; u++ {
+		srcs = append(srcs, u)
+		dsts = append(dsts, (u+1)%150)
+	}
+	for u := int64(150); u < 300; u++ {
+		srcs = append(srcs, u)
+		dsts = append(dsts, 150+(u-150+1)%150)
+	}
+	g := graph.FromEdgeList(300, srcs, dsts)
+	c := tc(t, 2)
+	c.Run(func(n *cluster.Node) {
+		e := New(n, g)
+		lo, _ := e.LocalRange()
+		labels, _ := e.ConnectedComponents(n.NewCtx(0))
+		for i, l := range labels {
+			u := lo + int64(i)
+			want := uint64(0)
+			if u >= 150 {
+				want = 150
+			}
+			if l != want {
+				t.Errorf("label[%d] = %d, want %d", u, l, want)
+				return
+			}
+		}
+	})
+}
+
+// refCC computes undirected components with union-find, normalized to
+// component minima (what min-label propagation converges to).
+func refCC(g *graph.CSR) []uint64 {
+	parent := make([]int64, g.N)
+	for i := range parent {
+		parent[i] = int64(i)
+	}
+	var find func(int64) int64
+	find = func(x int64) int64 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for u := int64(0); u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			ru, rv := find(u), find(v)
+			if ru < rv {
+				parent[rv] = ru
+			} else if rv < ru {
+				parent[ru] = rv
+			}
+		}
+	}
+	out := make([]uint64, g.N)
+	minOf := map[int64]uint64{}
+	for i := range out {
+		r := find(int64(i))
+		if m, ok := minOf[r]; !ok || uint64(i) < m {
+			minOf[r] = uint64(i)
+		}
+	}
+	for i := range out {
+		out[i] = minOf[find(int64(i))]
+	}
+	return out
+}
+
+func TestGeminiCCMatchesReferenceOnRMAT(t *testing.T) {
+	g := graph.RMAT(graph.RMATConfig{Scale: 8, EdgeFactor: 4, A: 0.57, B: 0.19, C: 0.19, Seed: 13})
+	want := refCC(g)
+	c := tc(t, 3)
+	locals := make([][]uint64, 3)
+	lows := make([]int64, 3)
+	c.Run(func(n *cluster.Node) {
+		e := New(n, g)
+		lo, _ := e.LocalRange()
+		lows[n.ID()] = lo
+		labels, _ := e.ConnectedComponents(n.NewCtx(0))
+		locals[n.ID()] = labels
+	})
+	got := make([]uint64, g.N)
+	for p := range locals {
+		copy(got[lows[p]:], locals[p])
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("label[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGeminiMultipleInstances(t *testing.T) {
+	// Two engines on one cluster must not cross messages.
+	g1 := graph.Ring(128)
+	g2 := graph.Path(128)
+	c := tc(t, 2)
+	c.Run(func(n *cluster.Node) {
+		e1 := New(n, g1)
+		e2 := New(n, g2)
+		ctx := n.NewCtx(0)
+		r1 := e1.PageRank(ctx, 2)
+		r2 := e2.PageRank(ctx, 2)
+		if len(r1) == 0 || len(r2) == 0 {
+			t.Error("empty local ranks")
+		}
+	})
+}

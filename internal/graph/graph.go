@@ -1,0 +1,175 @@
+// Package graph provides the graph substrate for the analytics engines:
+// an in-memory CSR representation, the Graph500 R-MAT generator the
+// paper uses for its rMat24 input, and vertex partitioning helpers.
+package graph
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// CSR is a directed graph in compressed sparse row form.
+type CSR struct {
+	N    int64   // vertex count
+	Offs []int64 // len N+1; edges of u are Dsts[Offs[u]:Offs[u+1]]
+	Dsts []int64
+}
+
+// Edges returns the edge count.
+func (g *CSR) Edges() int64 { return int64(len(g.Dsts)) }
+
+// OutDegree returns vertex u's out-degree.
+func (g *CSR) OutDegree(u int64) int64 { return g.Offs[u+1] - g.Offs[u] }
+
+// Neighbors returns vertex u's out-neighbors (shared slice; read-only).
+func (g *CSR) Neighbors(u int64) []int64 {
+	return g.Dsts[g.Offs[u]:g.Offs[u+1]]
+}
+
+// FromEdgeList builds a CSR with n vertices from (src,dst) pairs.
+// Duplicate edges are kept (R-MAT produces multi-edges, as Graph500
+// specifies); self-loops are kept too.
+func FromEdgeList(n int64, srcs, dsts []int64) *CSR {
+	if len(srcs) != len(dsts) {
+		panic("graph: src/dst length mismatch")
+	}
+	g := &CSR{N: n, Offs: make([]int64, n+1), Dsts: make([]int64, len(dsts))}
+	for _, s := range srcs {
+		g.Offs[s+1]++
+	}
+	for i := int64(1); i <= n; i++ {
+		g.Offs[i] += g.Offs[i-1]
+	}
+	cursor := make([]int64, n)
+	for i, s := range srcs {
+		g.Dsts[g.Offs[s]+cursor[s]] = dsts[i]
+		cursor[s]++
+	}
+	return g
+}
+
+// Reverse returns the transpose graph (in-edges become out-edges),
+// used by pull-mode engines.
+func (g *CSR) Reverse() *CSR {
+	srcs := make([]int64, g.Edges())
+	dsts := make([]int64, g.Edges())
+	k := 0
+	for u := int64(0); u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			srcs[k], dsts[k] = v, u
+			k++
+		}
+	}
+	return FromEdgeList(g.N, srcs, dsts)
+}
+
+// RMATConfig parameterizes the recursive matrix generator.
+type RMATConfig struct {
+	Scale      int     // vertices = 1 << Scale
+	EdgeFactor int64   // edges = EdgeFactor << Scale (Graph500 default 16; the paper's rMat24 uses 4)
+	A, B, C    float64 // quadrant probabilities (Graph500: 0.57, 0.19, 0.19)
+	Seed       int64
+}
+
+// DefaultRMAT returns the paper's configuration at the given scale:
+// 2^scale vertices and 4·2^scale edges (rMat24 has 2^24 vertices and
+// 2^26 edges).
+func DefaultRMAT(scale int) RMATConfig {
+	return RMATConfig{Scale: scale, EdgeFactor: 4, A: 0.57, B: 0.19, C: 0.19, Seed: 42}
+}
+
+// RMAT generates a graph with the recursive-matrix model of Chakrabarti
+// et al., as used by Graph500. Vertex ids are scrambled so degree does
+// not correlate with id.
+func RMAT(cfg RMATConfig) *CSR {
+	n := int64(1) << cfg.Scale
+	m := cfg.EdgeFactor * n
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	srcs := make([]int64, m)
+	dsts := make([]int64, m)
+	for i := int64(0); i < m; i++ {
+		var u, v int64
+		for bit := cfg.Scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < cfg.A:
+				// top-left: no bits set
+			case r < cfg.A+cfg.B:
+				v |= 1 << uint(bit)
+			case r < cfg.A+cfg.B+cfg.C:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		srcs[i], dsts[i] = u, v
+	}
+	// Scramble ids with a fixed permutation (Graph500 does this so the
+	// generator's bit structure doesn't leak into vertex order).
+	perm := rng.Perm(int(n))
+	for i := range srcs {
+		srcs[i] = int64(perm[srcs[i]])
+		dsts[i] = int64(perm[dsts[i]])
+	}
+	return FromEdgeList(n, srcs, dsts)
+}
+
+// Partition splits vertex ids into `parts` contiguous ranges balanced by
+// out-degree (edge-balanced, the way Gemini partitions). Returns bounds
+// of length parts+1.
+func (g *CSR) Partition(parts int) []int64 {
+	bounds := make([]int64, parts+1)
+	totalEdges := g.Edges()
+	target := totalEdges / int64(parts)
+	p := 1
+	var acc int64
+	for u := int64(0); u < g.N && p < parts; u++ {
+		acc += g.OutDegree(u)
+		if acc >= target*int64(p) {
+			bounds[p] = u + 1
+			p++
+		}
+	}
+	for ; p < parts; p++ {
+		bounds[p] = g.N
+	}
+	bounds[parts] = g.N
+	return bounds
+}
+
+// OwnerOf returns the partition owning vertex u under bounds.
+func OwnerOf(bounds []int64, u int64) int {
+	return sort.Search(len(bounds), func(i int) bool { return bounds[i] > u }) - 1
+}
+
+// Path returns a simple directed path graph (testing helper).
+func Path(n int64) *CSR {
+	srcs := make([]int64, 0, n-1)
+	dsts := make([]int64, 0, n-1)
+	for u := int64(0); u < n-1; u++ {
+		srcs = append(srcs, u)
+		dsts = append(dsts, u+1)
+	}
+	return FromEdgeList(n, srcs, dsts)
+}
+
+// Ring returns a directed cycle (testing helper).
+func Ring(n int64) *CSR {
+	srcs := make([]int64, n)
+	dsts := make([]int64, n)
+	for u := int64(0); u < n; u++ {
+		srcs[u], dsts[u] = u, (u+1)%n
+	}
+	return FromEdgeList(n, srcs, dsts)
+}
+
+// Star returns a star with hub 0 pointing at all other vertices.
+func Star(n int64) *CSR {
+	srcs := make([]int64, n-1)
+	dsts := make([]int64, n-1)
+	for u := int64(1); u < n; u++ {
+		srcs[u-1], dsts[u-1] = 0, u
+	}
+	return FromEdgeList(n, srcs, dsts)
+}

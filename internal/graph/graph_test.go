@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgeList(t *testing.T) {
+	g := FromEdgeList(4, []int64{0, 0, 1, 3}, []int64{1, 2, 2, 0})
+	if g.Edges() != 4 {
+		t.Fatalf("edges = %d, want 4", g.Edges())
+	}
+	if g.OutDegree(0) != 2 || g.OutDegree(1) != 1 || g.OutDegree(2) != 0 || g.OutDegree(3) != 1 {
+		t.Fatalf("degrees wrong: %v", g.Offs)
+	}
+	nb := g.Neighbors(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("neighbors(0) = %v", nb)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := Path(5)
+	r := g.Reverse()
+	if r.Edges() != g.Edges() {
+		t.Fatalf("reverse changed edge count")
+	}
+	for u := int64(1); u < 5; u++ {
+		nb := r.Neighbors(u)
+		if len(nb) != 1 || nb[0] != u-1 {
+			t.Fatalf("reverse neighbors(%d) = %v", u, nb)
+		}
+	}
+}
+
+func TestReverseIsInvolution(t *testing.T) {
+	g := RMAT(RMATConfig{Scale: 8, EdgeFactor: 4, A: 0.57, B: 0.19, C: 0.19, Seed: 7})
+	rr := g.Reverse().Reverse()
+	if rr.N != g.N || rr.Edges() != g.Edges() {
+		t.Fatal("double reverse changed shape")
+	}
+	// Same multiset of edges per vertex.
+	for u := int64(0); u < g.N; u++ {
+		a, b := append([]int64(nil), g.Neighbors(u)...), append([]int64(nil), rr.Neighbors(u)...)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree changed", u)
+		}
+		ca := map[int64]int{}
+		for _, x := range a {
+			ca[x]++
+		}
+		for _, x := range b {
+			ca[x]--
+			if ca[x] < 0 {
+				t.Fatalf("vertex %d edge multiset changed", u)
+			}
+		}
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	cfg := DefaultRMAT(10)
+	g := RMAT(cfg)
+	if g.N != 1024 {
+		t.Fatalf("N = %d, want 1024", g.N)
+	}
+	if g.Edges() != 4*1024 {
+		t.Fatalf("edges = %d, want 4096", g.Edges())
+	}
+	// R-MAT with a=0.57 is skewed: max degree far above average.
+	var maxDeg int64
+	for u := int64(0); u < g.N; u++ {
+		if d := g.OutDegree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 16 { // average is 4
+		t.Errorf("max degree %d suggests no skew", maxDeg)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(DefaultRMAT(8))
+	b := RMAT(DefaultRMAT(8))
+	if len(a.Dsts) != len(b.Dsts) {
+		t.Fatal("non-deterministic edge count")
+	}
+	for i := range a.Dsts {
+		if a.Dsts[i] != b.Dsts[i] {
+			t.Fatal("non-deterministic edges for same seed")
+		}
+	}
+}
+
+func TestPartitionEdgeBalance(t *testing.T) {
+	g := RMAT(DefaultRMAT(10))
+	bounds := g.Partition(4)
+	if bounds[0] != 0 || bounds[4] != g.N {
+		t.Fatalf("bounds endpoints wrong: %v", bounds)
+	}
+	for p := 0; p < 4; p++ {
+		if bounds[p] > bounds[p+1] {
+			t.Fatalf("bounds not monotone: %v", bounds)
+		}
+	}
+	// Each part's edges within 3x of even share (R-MAT is skewed, so
+	// allow generous slack; what matters is it is not all in one part).
+	total := g.Edges()
+	for p := 0; p < 4; p++ {
+		var e int64
+		for u := bounds[p]; u < bounds[p+1]; u++ {
+			e += g.OutDegree(u)
+		}
+		if e > total {
+			t.Fatalf("part %d has more edges than total", p)
+		}
+	}
+}
+
+func TestOwnerOf(t *testing.T) {
+	bounds := []int64{0, 10, 10, 25, 40}
+	cases := map[int64]int{0: 0, 9: 0, 10: 2, 24: 2, 25: 3, 39: 3}
+	for u, want := range cases {
+		if got := OwnerOf(bounds, u); got != want {
+			t.Errorf("OwnerOf(%d) = %d, want %d", u, got, want)
+		}
+	}
+}
+
+func TestHelpersShape(t *testing.T) {
+	if g := Path(10); g.Edges() != 9 || g.OutDegree(9) != 0 {
+		t.Error("Path shape wrong")
+	}
+	if g := Ring(10); g.Edges() != 10 || g.Neighbors(9)[0] != 0 {
+		t.Error("Ring shape wrong")
+	}
+	if g := Star(10); g.Edges() != 9 || g.OutDegree(0) != 9 {
+		t.Error("Star shape wrong")
+	}
+}
+
+// Property: CSR construction preserves the edge multiset.
+func TestCSRQuick(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		const n = 64
+		srcs := make([]int64, 0, len(pairs))
+		dsts := make([]int64, 0, len(pairs))
+		for _, p := range pairs {
+			srcs = append(srcs, int64(p>>8)%n)
+			dsts = append(dsts, int64(p&0xff)%n)
+		}
+		g := FromEdgeList(n, srcs, dsts)
+		if g.Edges() != int64(len(srcs)) {
+			return false
+		}
+		counts := map[[2]int64]int{}
+		for i := range srcs {
+			counts[[2]int64{srcs[i], dsts[i]}]++
+		}
+		for u := int64(0); u < n; u++ {
+			for _, v := range g.Neighbors(u) {
+				counts[[2]int64{u, v}]--
+			}
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

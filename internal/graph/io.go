@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Edge-list I/O in the whitespace-separated "src dst [weight]" format
+// used by SNAP and Graph500 reference datasets. Lines starting with
+// '#' or '%' are comments. Vertex ids must be non-negative; the vertex
+// count is max id + 1 unless a larger n is given.
+
+// ReadEdgeList parses an unweighted edge list. n <= 0 infers the vertex
+// count from the largest id seen.
+func ReadEdgeList(r io.Reader, n int64) (*CSR, error) {
+	srcs, dsts, _, maxID, err := parseEdges(r, false)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		n = maxID + 1
+	}
+	if maxID >= n {
+		return nil, fmt.Errorf("graph: vertex id %d exceeds given n=%d", maxID, n)
+	}
+	return FromEdgeList(n, srcs, dsts), nil
+}
+
+// ReadWeightedEdgeList parses a weighted edge list ("src dst w" lines).
+func ReadWeightedEdgeList(r io.Reader, n int64) (*WCSR, error) {
+	srcs, dsts, ws, maxID, err := parseEdges(r, true)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		n = maxID + 1
+	}
+	if maxID >= n {
+		return nil, fmt.Errorf("graph: vertex id %d exceeds given n=%d", maxID, n)
+	}
+	return FromWeightedEdgeList(n, srcs, dsts, ws), nil
+}
+
+func parseEdges(r io.Reader, weighted bool) (srcs, dsts []int64, ws []float64, maxID int64, err error) {
+	maxID = -1
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		want := 2
+		if weighted {
+			want = 3
+		}
+		if len(fields) < want {
+			return nil, nil, nil, 0, fmt.Errorf("graph: line %d: want %d fields, got %d", lineNo, want, len(fields))
+		}
+		s, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, nil, 0, fmt.Errorf("graph: line %d: bad src: %v", lineNo, err)
+		}
+		d, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, nil, 0, fmt.Errorf("graph: line %d: bad dst: %v", lineNo, err)
+		}
+		if s < 0 || d < 0 {
+			return nil, nil, nil, 0, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		srcs = append(srcs, s)
+		dsts = append(dsts, d)
+		if weighted {
+			w, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, nil, nil, 0, fmt.Errorf("graph: line %d: bad weight: %v", lineNo, err)
+			}
+			ws = append(ws, w)
+		}
+		if s > maxID {
+			maxID = s
+		}
+		if d > maxID {
+			maxID = d
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, nil, 0, err
+	}
+	if maxID < 0 {
+		return nil, nil, nil, 0, fmt.Errorf("graph: empty edge list")
+	}
+	return srcs, dsts, ws, maxID, nil
+}
+
+// WriteEdgeList emits the graph in "src dst" lines with a size header
+// comment.
+func (g *CSR) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %d vertices, %d edges\n", g.N, g.Edges())
+	for u := int64(0); u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+	}
+	return bw.Flush()
+}

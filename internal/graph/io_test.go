@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# a comment
+% another comment
+0 1
+1 2
+
+2 0
+`
+	g, err := ReadEdgeList(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.Edges() != 3 {
+		t.Fatalf("shape = (%d vertices, %d edges)", g.N, g.Edges())
+	}
+	if g.Neighbors(0)[0] != 1 || g.Neighbors(2)[0] != 0 {
+		t.Fatal("edges mangled")
+	}
+}
+
+func TestReadEdgeListExplicitN(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 10 {
+		t.Fatalf("N = %d, want 10", g.N)
+	}
+	if _, err := ReadEdgeList(strings.NewReader("0 99\n"), 10); err == nil {
+		t.Fatal("id beyond n should error")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",         // empty
+		"0\n",      // missing dst
+		"a b\n",    // non-numeric
+		"0 -1\n",   // negative id
+		"# only\n", // comments only
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), 0); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestReadWeightedEdgeList(t *testing.T) {
+	in := "0 1 2.5\n1 0 0.5\n"
+	w, err := ReadWeightedEdgeList(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.EdgeWeights(0)[0] != 2.5 || w.EdgeWeights(1)[0] != 0.5 {
+		t.Fatalf("weights mangled: %v", w.Weights)
+	}
+	if _, err := ReadWeightedEdgeList(strings.NewReader("0 1\n"), 0); err == nil {
+		t.Fatal("missing weight should error")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := RMAT(DefaultRMAT(7))
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, g.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N != g.N || g2.Edges() != g.Edges() {
+		t.Fatalf("round trip changed shape: (%d,%d) vs (%d,%d)",
+			g2.N, g2.Edges(), g.N, g.Edges())
+	}
+	for u := int64(0); u < g.N; u++ {
+		a, b := g.Neighbors(u), g2.Neighbors(u)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree changed", u)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("vertex %d edge %d changed", u, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package graph
+
+import "math/rand"
+
+// WCSR is a directed graph with float64 edge weights in CSR form.
+// Weights[k] belongs to edge Dsts[k].
+type WCSR struct {
+	CSR
+	Weights []float64
+}
+
+// FromWeightedEdgeList builds a weighted CSR.
+func FromWeightedEdgeList(n int64, srcs, dsts []int64, ws []float64) *WCSR {
+	if len(ws) != len(srcs) {
+		panic("graph: weight count mismatch")
+	}
+	g := &WCSR{}
+	g.N = n
+	g.Offs = make([]int64, n+1)
+	g.Dsts = make([]int64, len(dsts))
+	g.Weights = make([]float64, len(ws))
+	for _, s := range srcs {
+		g.Offs[s+1]++
+	}
+	for i := int64(1); i <= n; i++ {
+		g.Offs[i] += g.Offs[i-1]
+	}
+	cursor := make([]int64, n)
+	for i, s := range srcs {
+		k := g.Offs[s] + cursor[s]
+		g.Dsts[k] = dsts[i]
+		g.Weights[k] = ws[i]
+		cursor[s]++
+	}
+	return g
+}
+
+// EdgeWeights returns vertex u's out-edge weights, parallel to
+// Neighbors(u).
+func (g *WCSR) EdgeWeights(u int64) []float64 {
+	return g.Weights[g.Offs[u]:g.Offs[u+1]]
+}
+
+// RandomWeights attaches uniform weights in [lo, hi) to an unweighted
+// graph, deterministically per seed.
+func RandomWeights(g *CSR, lo, hi float64, seed int64) *WCSR {
+	rng := rand.New(rand.NewSource(seed))
+	w := &WCSR{CSR: *g, Weights: make([]float64, g.Edges())}
+	for i := range w.Weights {
+		w.Weights[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return w
+}

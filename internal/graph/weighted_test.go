@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestFromWeightedEdgeList(t *testing.T) {
+	w := FromWeightedEdgeList(3,
+		[]int64{0, 0, 1}, []int64{1, 2, 2}, []float64{0.5, 1.5, 2.5})
+	if w.Edges() != 3 {
+		t.Fatalf("edges = %d", w.Edges())
+	}
+	nb := w.Neighbors(0)
+	ws := w.EdgeWeights(0)
+	if len(nb) != 2 || len(ws) != 2 {
+		t.Fatalf("vertex 0: %v / %v", nb, ws)
+	}
+	for k := range nb {
+		if nb[k] == 1 && ws[k] != 0.5 {
+			t.Errorf("edge 0->1 weight %v", ws[k])
+		}
+		if nb[k] == 2 && ws[k] != 1.5 {
+			t.Errorf("edge 0->2 weight %v", ws[k])
+		}
+	}
+	if w.EdgeWeights(1)[0] != 2.5 {
+		t.Errorf("edge 1->2 weight %v", w.EdgeWeights(1)[0])
+	}
+}
+
+func TestWeightCountMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromWeightedEdgeList(2, []int64{0}, []int64{1}, nil)
+}
+
+func TestRandomWeightsDeterministicAndBounded(t *testing.T) {
+	g := Ring(64)
+	a := RandomWeights(g, 2, 5, 9)
+	b := RandomWeights(g, 2, 5, 9)
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatal("same seed produced different weights")
+		}
+		if a.Weights[i] < 2 || a.Weights[i] >= 5 {
+			t.Fatalf("weight %v outside [2,5)", a.Weights[i])
+		}
+	}
+	c := RandomWeights(g, 2, 5, 10)
+	same := true
+	for i := range a.Weights {
+		if a.Weights[i] != c.Weights[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical weights")
+	}
+}

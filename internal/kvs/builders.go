@@ -1,0 +1,15 @@
+package kvs
+
+import (
+	"darray/internal/cluster"
+	"darray/internal/core"
+)
+
+// NewDArray collectively builds the KVS over DArray storage (the
+// paper's DArray-based KVS).
+func NewDArray(node *cluster.Node, cfg Config) *Store {
+	entryWords, byteWords := Sizes(cfg, node.Cluster().Nodes())
+	entries := core.New(node, entryWords)
+	bytes := core.New(node, byteWords)
+	return New(node, entries, bytes, cfg)
+}

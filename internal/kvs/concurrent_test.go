@@ -1,0 +1,80 @@
+package kvs
+
+import (
+	"fmt"
+	"testing"
+
+	"darray/internal/cluster"
+)
+
+// TestConcurrentPutDeleteGet mixes deletes into a concurrent workload:
+// every (node, thread) owns a disjoint key range, so each worker can
+// assert exact visibility of its own operations while cross-bucket
+// traffic from the others exercises shared chains, slab reuse, and the
+// lock service.
+func TestConcurrentPutDeleteGet(t *testing.T) {
+	const nodes, threads, keysPer = 2, 3, 30
+	c := tc(t, nodes)
+	c.Run(func(n *cluster.Node) {
+		s := NewDArray(n, Config{Buckets: 32, ByteWords: 2 << 17})
+		root := n.NewCtx(0)
+		c.Barrier(root)
+		n.RunThreads(threads, func(ctx *cluster.Ctx) {
+			key := func(i int) []byte {
+				return []byte(fmt.Sprintf("o%d-%d-%d", n.ID(), ctx.TID, i))
+			}
+			// Insert, verify, delete half, verify the split.
+			for i := 0; i < keysPer; i++ {
+				if err := s.Put(ctx, key(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+			for i := 0; i < keysPer; i++ {
+				v, err := s.Get(ctx, key(i))
+				if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+					t.Errorf("get own key %d: (%q, %v)", i, v, err)
+					return
+				}
+			}
+			for i := 0; i < keysPer; i += 2 {
+				if err := s.Delete(ctx, key(i)); err != nil {
+					t.Errorf("delete %d: %v", i, err)
+					return
+				}
+			}
+			for i := 0; i < keysPer; i++ {
+				v, err := s.Get(ctx, key(i))
+				if i%2 == 0 {
+					if err != ErrNotFound {
+						t.Errorf("deleted key %d still returns (%q, %v)", i, v, err)
+						return
+					}
+				} else if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+					t.Errorf("surviving key %d: (%q, %v)", i, v, err)
+					return
+				}
+			}
+			// Re-insert the deleted half with new values (slab reuse).
+			for i := 0; i < keysPer; i += 2 {
+				if err := s.Put(ctx, key(i), []byte(fmt.Sprintf("w%d", i))); err != nil {
+					t.Errorf("re-put: %v", err)
+					return
+				}
+				v, err := s.Get(ctx, key(i))
+				if err != nil || string(v) != fmt.Sprintf("w%d", i) {
+					t.Errorf("re-get %d: (%q, %v)", i, v, err)
+					return
+				}
+			}
+		})
+		c.Barrier(root)
+		// Global count check.
+		st := s.Scan(root)
+		want := int64(nodes * threads * keysPer)
+		if st.UsedEntries != want {
+			t.Errorf("UsedEntries = %d, want %d", st.UsedEntries, want)
+		}
+		c.Barrier(root)
+	})
+}

@@ -1,0 +1,334 @@
+// Package kvs implements the paper's distributed key-value store (§5.2):
+// an entry array partitioned into buckets of 15 entries plus an overflow
+// pointer, and a byte array managed by a Memcached-style slab allocator.
+// Each 8-byte entry packs an 8-bit tag, a 16-bit size, and a 40-bit word
+// offset into the byte array. Gets probe a bucket under the distributed
+// reader lock; puts update it under the writer lock.
+//
+// The store is generic over a WordStore, so the same code runs on
+// DArray (internal/core) and on the GAM baseline (internal/gamkvs wires
+// that up), which is exactly the comparison in the paper's Figure 17.
+package kvs
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"sync"
+
+	"darray/internal/cluster"
+)
+
+// WordStore is the distributed-array interface the KVS is built on.
+// Both *core.Array and *gam.Array satisfy it.
+type WordStore interface {
+	Get(ctx *cluster.Ctx, i int64) uint64
+	Set(ctx *cluster.Ctx, i int64, v uint64)
+	RLock(ctx *cluster.Ctx, i int64)
+	WLock(ctx *cluster.Ctx, i int64)
+	Unlock(ctx *cluster.Ctx, i int64)
+	LocalRange() (int64, int64)
+	Len() int64
+}
+
+const (
+	// BucketWords is the bucket layout: 15 entries + 1 overflow pointer.
+	BucketWords    = 16
+	entriesPerBkt  = 15
+	tagBits        = 8
+	sizeBits       = 16
+	offBits        = 40
+	maxKVWords     = (1 << sizeBits) - 1
+	overflowFactor = 4 // 1/overflowFactor of buckets reserved for chains
+)
+
+// entry packing: [ tag:8 | size:16 | off:40 ], zero means empty.
+func packEntry(tag uint8, sizeWords int64, off int64) uint64 {
+	return uint64(tag)<<56 | uint64(sizeWords)<<40 | uint64(off)
+}
+
+func unpackEntry(e uint64) (tag uint8, sizeWords int64, off int64) {
+	return uint8(e >> 56), int64(e>>40) & 0xffff, int64(e & ((1 << offBits) - 1))
+}
+
+// Store is one node's handle to the distributed KVS.
+type Store struct {
+	entries WordStore
+	bytes   WordStore
+	slab    *Slab
+	node    *cluster.Node
+
+	nBuckets   int64 // main buckets
+	oflowBase  int64 // first overflow bucket index
+	oflowLimit int64
+	oflowMu    sync.Mutex
+	oflowNext  int64 // local overflow cursor into this node's share
+}
+
+// Node returns this handle's node.
+func (s *Store) Node() *cluster.Node { return s.node }
+
+// ErrNotFound is returned by Get/Delete when the key is absent.
+var ErrNotFound = errors.New("kvs: key not found")
+
+// Config sizes the store.
+type Config struct {
+	Buckets   int64 // main bucket count (rounded up to a power of two)
+	ByteWords int64 // byte-array capacity in words
+}
+
+// New collectively creates the KVS over the given stores. entries must
+// have (Buckets + Buckets/overflowFactor) * BucketWords elements and
+// bytes must have ByteWords elements; use Sizes to compute them.
+func New(node *cluster.Node, entries, bytes WordStore, cfg Config) *Store {
+	nb := ceilPow2(cfg.Buckets)
+	s := &Store{
+		entries:   entries,
+		bytes:     bytes,
+		node:      node,
+		nBuckets:  nb,
+		oflowBase: nb,
+	}
+	s.oflowLimit = nb + overflowCount(nb, node.Cluster().Nodes())
+	// Slab manages this node's local partition of the byte array.
+	lo, hi := bytes.LocalRange()
+	s.slab = NewSlab(lo, hi)
+	// Per-node overflow slice: node v allocates overflow buckets from
+	// its own 1/n share of the overflow area.
+	c := node.Cluster()
+	share := (s.oflowLimit - s.oflowBase) / int64(c.Nodes())
+	s.oflowNext = s.oflowBase + int64(node.ID())*share
+	return s
+}
+
+// Sizes returns the required entry-array and byte-array lengths for cfg
+// on a cluster with the given node count.
+func Sizes(cfg Config, nodes int) (entryWords, byteWords int64) {
+	nb := ceilPow2(cfg.Buckets)
+	return (nb + overflowCount(nb, nodes)) * BucketWords, cfg.ByteWords
+}
+
+// overflowCount reserves chain buckets: a quarter of the main buckets,
+// with a floor of eight per node so tiny tables can still chain.
+func overflowCount(nb int64, nodes int) int64 {
+	n := nb / overflowFactor
+	if min := int64(8 * nodes); n < min {
+		n = min
+	}
+	return n
+}
+
+func ceilPow2(n int64) int64 {
+	p := int64(1)
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// hashKey maps a key to (bucket, tag). Tag 0 is reserved for empty
+// entries, so tags are folded into 1..255.
+func (s *Store) hashKey(key []byte) (bucket int64, tag uint8) {
+	h := fnv.New64a()
+	h.Write(key)
+	v := h.Sum64()
+	bucket = int64(v & uint64(s.nBuckets-1))
+	tag = uint8(v >> 56)
+	if tag == 0 {
+		tag = 1
+	}
+	return bucket, tag
+}
+
+func (s *Store) bucketBase(b int64) int64 { return b * BucketWords }
+
+// kv layout in the byte array: word 0 = [keyBytes u32 | valBytes u32],
+// then the key words, then the value words.
+func kvWords(keyLen, valLen int) int64 {
+	return 1 + wordsFor(keyLen) + wordsFor(valLen)
+}
+
+func wordsFor(n int) int64 { return int64((n + 7) / 8) }
+
+func packBytes(dst func(i int64, v uint64), base int64, b []byte) {
+	for w := int64(0); w*8 < int64(len(b)); w++ {
+		var buf [8]byte
+		copy(buf[:], b[w*8:])
+		dst(base+w, binary.LittleEndian.Uint64(buf[:]))
+	}
+}
+
+func unpackBytes(src func(i int64) uint64, base int64, n int) []byte {
+	out := make([]byte, n)
+	for w := int64(0); w*8 < int64(n); w++ {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], src(base+w))
+		copy(out[w*8:], buf[:])
+	}
+	return out
+}
+
+// writeKV stores key/val into the byte array at off.
+func (s *Store) writeKV(ctx *cluster.Ctx, off int64, key, val []byte) {
+	s.bytes.Set(ctx, off, uint64(len(key))<<32|uint64(len(val)))
+	set := func(i int64, v uint64) { s.bytes.Set(ctx, i, v) }
+	packBytes(set, off+1, key)
+	packBytes(set, off+1+wordsFor(len(key)), val)
+}
+
+// readKV loads the key/value pair stored at off.
+func (s *Store) readKV(ctx *cluster.Ctx, off int64) (key, val []byte) {
+	hdr := s.bytes.Get(ctx, off)
+	kl, vl := int(hdr>>32), int(hdr&0xffffffff)
+	get := func(i int64) uint64 { return s.bytes.Get(ctx, i) }
+	key = unpackBytes(get, off+1, kl)
+	val = unpackBytes(get, off+1+wordsFor(kl), vl)
+	return key, val
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// probe walks bucket b (and its overflow chain) looking for key, and
+// returns the entry's global index, its contents, and whether it
+// matched. When no match is found, firstFree is the index of the first
+// empty slot on the chain (or -1) and lastBucket is the chain's tail.
+func (s *Store) probe(ctx *cluster.Ctx, b int64, tag uint8, key []byte) (idx int64, ent uint64, found bool, firstFree int64, lastBucket int64) {
+	firstFree = -1
+	for {
+		base := s.bucketBase(b)
+		for e := int64(0); e < entriesPerBkt; e++ {
+			ent = s.entries.Get(ctx, base+e)
+			if ent == 0 {
+				if firstFree < 0 {
+					firstFree = base + e
+				}
+				continue
+			}
+			t, _, off := unpackEntry(ent)
+			if t != tag {
+				continue
+			}
+			k, _ := s.readKV(ctx, off)
+			if bytesEqual(k, key) {
+				return base + e, ent, true, firstFree, b
+			}
+		}
+		next := s.entries.Get(ctx, base+entriesPerBkt)
+		if next == 0 {
+			return 0, 0, false, firstFree, b
+		}
+		b = int64(next - 1) // stored as bucket+1 so 0 means "none"
+	}
+}
+
+// Get returns the value stored under key (paper Figure 11's flow: hash,
+// probe entries under the reader lock, follow the overflow pointer).
+func (s *Store) Get(ctx *cluster.Ctx, key []byte) ([]byte, error) {
+	b, tag := s.hashKey(key)
+	lockIdx := s.bucketBase(b)
+	s.entries.RLock(ctx, lockIdx)
+	_, ent, found, _, _ := s.probe(ctx, b, tag, key)
+	if !found {
+		s.entries.Unlock(ctx, lockIdx)
+		return nil, ErrNotFound
+	}
+	_, _, off := unpackEntry(ent)
+	_, val := s.readKV(ctx, off)
+	s.entries.Unlock(ctx, lockIdx)
+	return val, nil
+}
+
+// Put inserts or replaces key's value.
+func (s *Store) Put(ctx *cluster.Ctx, key, val []byte) error {
+	words := kvWords(len(key), len(val))
+	if words > maxKVWords {
+		return errors.New("kvs: key-value pair too large")
+	}
+	off, err := s.slab.Alloc(words)
+	if err != nil {
+		return err
+	}
+	s.writeKV(ctx, off, key, val)
+
+	b, tag := s.hashKey(key)
+	lockIdx := s.bucketBase(b)
+	s.entries.WLock(ctx, lockIdx)
+	idx, old, found, firstFree, lastBucket := s.probe(ctx, b, tag, key)
+	switch {
+	case found:
+		s.entries.Set(ctx, idx, packEntry(tag, words, off))
+		s.entries.Unlock(ctx, lockIdx)
+		_, oldWords, oldOff := unpackEntry(old)
+		s.freeKV(oldOff, oldWords)
+		return nil
+	case firstFree >= 0:
+		s.entries.Set(ctx, firstFree, packEntry(tag, words, off))
+		s.entries.Unlock(ctx, lockIdx)
+		return nil
+	default:
+		// Chain a fresh overflow bucket onto the tail.
+		nb, err := s.allocOverflow()
+		if err != nil {
+			s.entries.Unlock(ctx, lockIdx)
+			s.freeKV(off, words)
+			return err
+		}
+		s.entries.Set(ctx, s.bucketBase(nb), packEntry(tag, words, off))
+		s.entries.Set(ctx, s.bucketBase(lastBucket)+entriesPerBkt, uint64(nb+1))
+		s.entries.Unlock(ctx, lockIdx)
+		return nil
+	}
+}
+
+// Delete removes key.
+func (s *Store) Delete(ctx *cluster.Ctx, key []byte) error {
+	b, tag := s.hashKey(key)
+	lockIdx := s.bucketBase(b)
+	s.entries.WLock(ctx, lockIdx)
+	idx, ent, found, _, _ := s.probe(ctx, b, tag, key)
+	if !found {
+		s.entries.Unlock(ctx, lockIdx)
+		return ErrNotFound
+	}
+	s.entries.Set(ctx, idx, 0)
+	s.entries.Unlock(ctx, lockIdx)
+	_, words, off := unpackEntry(ent)
+	s.freeKV(off, words)
+	return nil
+}
+
+// freeKV returns a KV chunk to its owning node's slab. Chunks allocated
+// by other nodes are leaked by design: Memcached-style slabs are
+// node-local, and cross-node frees would need a message we account as
+// deferred reclamation (the paper's KVS does not evaluate deletes).
+func (s *Store) freeKV(off, words int64) {
+	lo, hi := s.bytes.LocalRange()
+	if off >= lo && off < hi {
+		s.slab.Free(off, words)
+	}
+}
+
+// allocOverflow hands out an overflow bucket from this node's share.
+func (s *Store) allocOverflow() (int64, error) {
+	c := s.node.Cluster()
+	share := (s.oflowLimit - s.oflowBase) / int64(c.Nodes())
+	end := s.oflowBase + int64(s.node.ID()+1)*share
+	s.oflowMu.Lock()
+	defer s.oflowMu.Unlock()
+	if s.oflowNext >= end {
+		return 0, errors.New("kvs: overflow buckets exhausted")
+	}
+	nb := s.oflowNext
+	s.oflowNext++
+	return nb, nil
+}

@@ -1,0 +1,62 @@
+package kvs
+
+import (
+	"fmt"
+	"testing"
+
+	"darray/internal/cluster"
+)
+
+func TestScanCountsEntries(t *testing.T) {
+	c := tc(t, 1)
+	c.Run(func(n *cluster.Node) {
+		s := NewDArray(n, Config{Buckets: 16, ByteWords: 1 << 16})
+		ctx := n.NewCtx(0)
+		st := s.Scan(ctx)
+		if st.UsedEntries != 0 || st.OverflowBuckets != 0 {
+			t.Fatalf("fresh store not empty: %+v", st)
+		}
+		const keys = 40
+		for i := 0; i < keys; i++ {
+			if err := s.Put(ctx, []byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st = s.Scan(ctx)
+		if st.UsedEntries != keys {
+			t.Fatalf("UsedEntries = %d, want %d", st.UsedEntries, keys)
+		}
+		if st.SlabUsedWords == 0 {
+			t.Fatal("slab usage not reported")
+		}
+		for i := 0; i < keys/2; i++ {
+			if err := s.Delete(ctx, []byte(fmt.Sprintf("k%02d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st = s.Scan(ctx)
+		if st.UsedEntries != keys/2 {
+			t.Fatalf("after deletes: UsedEntries = %d, want %d", st.UsedEntries, keys/2)
+		}
+	})
+}
+
+func TestScanSeesOverflow(t *testing.T) {
+	c := tc(t, 1)
+	c.Run(func(n *cluster.Node) {
+		s := NewDArray(n, Config{Buckets: 1, ByteWords: 1 << 16})
+		ctx := n.NewCtx(0)
+		for i := 0; i < 40; i++ { // > 15 entries forces chaining
+			if err := s.Put(ctx, []byte(fmt.Sprintf("key%02d", i)), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := s.Scan(ctx)
+		if st.OverflowBuckets == 0 {
+			t.Fatal("expected overflow buckets in use")
+		}
+		if st.UsedEntries != 40 {
+			t.Fatalf("UsedEntries = %d, want 40", st.UsedEntries)
+		}
+	})
+}

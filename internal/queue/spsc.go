@@ -1,0 +1,50 @@
+package queue
+
+import "sync/atomic"
+
+// SPSC is a bounded single-producer single-consumer ring buffer, used
+// for per-queue-pair send rings in the simulated fabric (one producer:
+// the Tx thread; one consumer: the peer's Rx thread). Capacity must be
+// a power of two.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+	head atomic.Uint64 // next slot to pop (consumer)
+	tail atomic.Uint64 // next slot to push (producer)
+}
+
+// NewSPSC returns a ring with the given power-of-two capacity.
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic("queue: SPSC capacity must be a positive power of two")
+	}
+	return &SPSC[T]{buf: make([]T, capacity), mask: uint64(capacity - 1)}
+}
+
+// TryPush appends v; it reports false when the ring is full.
+func (q *SPSC[T]) TryPush(v T) bool {
+	t := q.tail.Load()
+	if t-q.head.Load() == uint64(len(q.buf)) {
+		return false
+	}
+	q.buf[t&q.mask] = v
+	q.tail.Store(t + 1)
+	return true
+}
+
+// TryPop removes the oldest value; ok is false when the ring is empty.
+func (q *SPSC[T]) TryPop() (v T, ok bool) {
+	h := q.head.Load()
+	if h == q.tail.Load() {
+		return v, false
+	}
+	v = q.buf[h&q.mask]
+	var zero T
+	q.buf[h&q.mask] = zero
+	q.head.Store(h + 1)
+	return v, true
+}
+
+// Len returns the number of buffered elements (approximate under
+// concurrency, exact when quiesced).
+func (q *SPSC[T]) Len() int { return int(q.tail.Load() - q.head.Load()) }

@@ -1,0 +1,146 @@
+// Package stats provides the measurement helpers the benchmark harness
+// uses: latency histograms with percentiles, throughput accounting over
+// virtual time, and the scalability ratios the paper reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram collects latency samples (nanoseconds).
+type Histogram struct {
+	samples []int64
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Histogram) Add(ns int64) {
+	h.samples = append(h.samples, ns)
+	h.sorted = false
+}
+
+// AddAll records many samples.
+func (h *Histogram) AddAll(ns []int64) {
+	h.samples = append(h.samples, ns...)
+	h.sorted = false
+}
+
+// Count returns the sample count.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range h.samples {
+		sum += float64(s)
+	}
+	return sum / float64(len(h.samples))
+}
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) int64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	idx := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() int64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[len(h.samples)-1]
+}
+
+// Throughput converts an operation count over a virtual duration to
+// operations per second.
+func Throughput(ops int64, durNs int64) float64 {
+	if durNs <= 0 {
+		return 0
+	}
+	return float64(ops) / (float64(durNs) / 1e9)
+}
+
+// ScalabilityRatio is the paper's metric: throughput at n nodes divided
+// by n times the single-node throughput (weak-scaling efficiency).
+func ScalabilityRatio(tputN float64, n int, tput1 float64) float64 {
+	if tput1 <= 0 || n <= 0 {
+		return 0
+	}
+	return tputN / (float64(n) * tput1)
+}
+
+// Series is one labelled line of a figure: y-values indexed like the
+// shared x-axis.
+type Series struct {
+	Label string
+	Ys    []float64
+}
+
+// Table renders a paper-style figure as an aligned text table.
+type Table struct {
+	Title  string
+	XLabel string
+	Xs     []string
+	Series []Series
+	YFmt   string // e.g. "%.1f"; default "%.2f"
+}
+
+// Render formats the table for terminal output.
+func (t *Table) Render() string {
+	yfmt := t.YFmt
+	if yfmt == "" {
+		yfmt = "%.2f"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s\n", t.Title)
+	w := 14
+	fmt.Fprintf(&b, "%-*s", w, t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, "%*s", w, s.Label)
+	}
+	b.WriteByte('\n')
+	for i, x := range t.Xs {
+		fmt.Fprintf(&b, "%-*s", w, x)
+		for _, s := range t.Series {
+			if i < len(s.Ys) {
+				fmt.Fprintf(&b, "%*s", w, fmt.Sprintf(yfmt, s.Ys[i]))
+			} else {
+				fmt.Fprintf(&b, "%*s", w, "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Speedup returns a/b guarding zero.
+func Speedup(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

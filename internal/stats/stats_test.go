@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramMeanPercentiles(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 100; i++ {
+		h.Add(i)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if m := h.Mean(); m != 50.5 {
+		t.Fatalf("mean = %v, want 50.5", m)
+	}
+	if p := h.Percentile(50); p != 50 {
+		t.Fatalf("p50 = %d, want 50", p)
+	}
+	if p := h.Percentile(99); p != 99 {
+		t.Fatalf("p99 = %d, want 99", p)
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %d", h.Max())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramAddAllInterleavedWithSort(t *testing.T) {
+	var h Histogram
+	h.AddAll([]int64{5, 1, 9})
+	_ = h.Percentile(50) // forces sort
+	h.Add(0)
+	if h.Percentile(1) != 0 {
+		t.Fatal("sample added after sort was lost")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if tp := Throughput(1000, 1e9); tp != 1000 {
+		t.Fatalf("1000 ops in 1s = %v ops/s", tp)
+	}
+	if tp := Throughput(100, 0); tp != 0 {
+		t.Fatalf("zero duration should yield 0, got %v", tp)
+	}
+}
+
+func TestScalabilityRatio(t *testing.T) {
+	// Perfect weak scaling: n nodes do n times the work.
+	if r := ScalabilityRatio(400, 4, 100); r != 1.0 {
+		t.Fatalf("perfect scaling ratio = %v", r)
+	}
+	if r := ScalabilityRatio(200, 4, 100); r != 0.5 {
+		t.Fatalf("half scaling ratio = %v", r)
+	}
+	if r := ScalabilityRatio(1, 0, 0); r != 0 {
+		t.Fatalf("degenerate ratio = %v", r)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:  "Figure X",
+		XLabel: "nodes",
+		Xs:     []string{"1", "2"},
+		Series: []Series{
+			{Label: "DArray", Ys: []float64{10, 20}},
+			{Label: "GAM", Ys: []float64{1}},
+		},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"Figure X", "nodes", "DArray", "GAM", "10.00", "20.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatal("short series should render '-' for missing points")
+	}
+}
+
+// Property: Percentile is monotone in p and bounded by [min, max].
+func TestPercentileMonotoneQuick(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Add(int64(v))
+		}
+		prev := h.Percentile(1)
+		for p := 10.0; p <= 100; p += 10 {
+			cur := h.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return h.Percentile(100) == h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

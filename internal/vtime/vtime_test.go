@@ -1,0 +1,182 @@
+package vtime
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("new clock = %d, want 0", c.Now())
+	}
+	c.Advance(5)
+	c.Advance(7)
+	if c.Now() != 12 {
+		t.Fatalf("clock = %d, want 12", c.Now())
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	c.AdvanceTo(50) // must not rewind
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo rewound clock to %d", c.Now())
+	}
+	c.AdvanceTo(150)
+	if c.Now() != 150 {
+		t.Fatalf("AdvanceTo = %d, want 150", c.Now())
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	var c Clock
+	c.Advance(42)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Reset left clock at %d", c.Now())
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	var r Resource
+	s1, e1 := r.Acquire(0, 10)
+	if s1 != 0 || e1 != 10 {
+		t.Fatalf("first acquire = [%d,%d], want [0,10]", s1, e1)
+	}
+	// Arriving earlier than busy-until must queue behind it.
+	s2, e2 := r.Acquire(3, 10)
+	if s2 != 10 || e2 != 20 {
+		t.Fatalf("second acquire = [%d,%d], want [10,20]", s2, e2)
+	}
+	// Arriving after the resource is idle starts immediately.
+	s3, e3 := r.Acquire(100, 5)
+	if s3 != 100 || e3 != 105 {
+		t.Fatalf("third acquire = [%d,%d], want [100,105]", s3, e3)
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	var r Resource
+	r.Acquire(0, 1000)
+	r.Reset()
+	if got := r.Peek(); got != 0 {
+		t.Fatalf("Peek after Reset = %d, want 0", got)
+	}
+}
+
+// Property: under any interleaving, the total reserved service time is
+// conserved — busyUntil after k acquisitions of service s arriving at
+// time <= start is exactly k*s when all arrivals are at time 0.
+func TestResourceConservation(t *testing.T) {
+	const workers, per, service = 8, 64, 7
+	var r Resource
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Acquire(0, service)
+			}
+		}()
+	}
+	wg.Wait()
+	want := int64(workers * per * service)
+	if got := r.Peek(); got != want {
+		t.Fatalf("busyUntil = %d, want %d", got, want)
+	}
+}
+
+// Property: for arrivals processed in non-decreasing virtual-time
+// order, the backlog model coincides with classic max-plus — intervals
+// never overlap and never start before the arrival time.
+func TestResourceIntervalProperty(t *testing.T) {
+	f := func(arrivals []uint16, services []uint8) bool {
+		var r Resource
+		n := len(arrivals)
+		if len(services) < n {
+			n = len(services)
+		}
+		times := make([]int64, n)
+		for i := 0; i < n; i++ {
+			times[i] = int64(arrivals[i])
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		prevEnd := int64(0)
+		for i := 0; i < n; i++ {
+			svc := int64(services[i])
+			s, e := r.Acquire(times[i], svc)
+			if s < times[i] || e != s+svc || s < prevEnd {
+				return false
+			}
+			prevEnd = e
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Out-of-order arrivals must pay only genuine backlog, not clock drift:
+// a request stamped far in the past, processed after one stamped far in
+// the future, starts at its own arrival plus the queued service.
+func TestResourceOutOfOrderNoDriftInflation(t *testing.T) {
+	var r Resource
+	r.Acquire(1_000_000, 100)  // a far-future-stamped request
+	s, e := r.Acquire(10, 100) // early-stamped request processed later
+	if s != 110 || e != 210 {
+		t.Fatalf("early request got [%d,%d], want [110,210]", s, e)
+	}
+}
+
+func TestModelXferCost(t *testing.T) {
+	m := Default()
+	if got := m.XferCost(125); got != 10 {
+		t.Fatalf("XferCost(125) = %d, want 10 at 12.5 B/ns", got)
+	}
+	m.BytesPerNs = 0
+	if got := m.XferCost(4096); got != 0 {
+		t.Fatalf("XferCost with zero bandwidth = %d, want 0", got)
+	}
+}
+
+func TestModelCopyCost(t *testing.T) {
+	m := Default()
+	if got := m.CopyCost(4096); got != 512 {
+		t.Fatalf("CopyCost(4096) = %d, want 512 at 8 B/ns", got)
+	}
+}
+
+func TestModelSendCostSelectiveSignaling(t *testing.T) {
+	m := Default()
+	m.PostSend, m.PollCQ = 100, 320
+	m.SignalPeriod = 32
+	if got := m.SendCost(); got != 110 {
+		t.Fatalf("SendCost = %d, want 110", got)
+	}
+	m.SignalPeriod = 1 // always signal
+	if got := m.SendCost(); got != 420 {
+		t.Fatalf("SendCost (always signal) = %d, want 420", got)
+	}
+	m.SignalPeriod = 0 // treated as 1
+	if got := m.SendCost(); got != 420 {
+		t.Fatalf("SendCost (period 0) = %d, want 420", got)
+	}
+}
+
+func TestNilModelSemantics(t *testing.T) {
+	// Hot paths guard with `if m != nil`; ensure Default never returns nil
+	// and placeholder CPU costs start at zero for calibration.
+	m := Default()
+	if m == nil {
+		t.Fatal("Default returned nil")
+	}
+	if m.GetHit != 0 || m.GamAccess != 0 {
+		t.Fatal("calibrated fields must default to zero")
+	}
+}

@@ -1,0 +1,149 @@
+// Package ycsb generates YCSB-style key-value workloads: Zipfian key
+// popularity (the Gray et al. incremental algorithm YCSB itself uses,
+// with the paper's default skew of 0.99) and configurable get/put mixes,
+// matching the Figure 17 evaluation.
+package ycsb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipfian draws from a Zipfian distribution over [0, n) with parameter
+// theta, using the YCSB/Gray algorithm (constant time per sample).
+type Zipfian struct {
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+	rng   *rand.Rand
+}
+
+// NewZipfian builds a generator over n items with skew theta (0.99 is
+// the YCSB default and what the paper uses).
+func NewZipfian(n int64, theta float64, seed int64) *Zipfian {
+	z := &Zipfian{n: n, theta: theta, rng: rand.New(rand.NewSource(seed))}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n int64, theta float64) float64 {
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next sample; item 0 is the most popular.
+func (z *Zipfian) Next() int64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// OpKind is a workload operation type.
+type OpKind uint8
+
+// Workload operation kinds.
+const (
+	OpGet OpKind = iota
+	OpPut
+)
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  []byte
+	Val  []byte
+}
+
+// Config describes a YCSB workload.
+type Config struct {
+	Records  int64   // distinct keys
+	GetRatio float64 // fraction of gets (paper sweeps 0.5, 0.95, 1.0)
+	Theta    float64 // Zipfian skew (default 0.99)
+	ValueLen int     // value size in bytes (YCSB default-ish 100)
+	Seed     int64
+}
+
+// Generator produces a deterministic operation stream.
+type Generator struct {
+	cfg Config
+	zip *Zipfian
+	rng *rand.Rand
+	val []byte
+}
+
+// NewGenerator builds a workload generator.
+func NewGenerator(cfg Config) *Generator {
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.99
+	}
+	if cfg.ValueLen == 0 {
+		cfg.ValueLen = 100
+	}
+	g := &Generator{
+		cfg: cfg,
+		zip: NewZipfian(cfg.Records, cfg.Theta, cfg.Seed),
+		rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5bd1e995)),
+	}
+	g.val = make([]byte, cfg.ValueLen)
+	for i := range g.val {
+		g.val[i] = byte('a' + i%26)
+	}
+	return g
+}
+
+// Key renders record id r as the YCSB-style key "user<r>".
+func Key(r int64) []byte {
+	return []byte(fmt.Sprintf("user%016d", r))
+}
+
+// KeyID recovers the record id from a key (testing helper).
+func KeyID(k []byte) int64 {
+	var id int64
+	fmt.Sscanf(string(k), "user%d", &id)
+	return id
+}
+
+// Next produces the next operation. Values embed the record id so reads
+// can be validated.
+func (g *Generator) Next() Op {
+	r := g.zip.Next()
+	if g.rng.Float64() < g.cfg.GetRatio {
+		return Op{Kind: OpGet, Key: Key(r)}
+	}
+	v := make([]byte, len(g.val))
+	copy(v, g.val)
+	binary.LittleEndian.PutUint64(v, uint64(r))
+	return Op{Kind: OpPut, Key: Key(r), Val: v}
+}
+
+// ValidValue reports whether v is a value Next could have written for
+// record id r.
+func ValidValue(r int64, v []byte) bool {
+	return len(v) >= 8 && binary.LittleEndian.Uint64(v) == uint64(r)
+}
+
+// LoadValue returns the canonical initial value for record r (used to
+// preload the store before measurement).
+func (g *Generator) LoadValue(r int64) []byte {
+	v := make([]byte, len(g.val))
+	copy(v, g.val)
+	binary.LittleEndian.PutUint64(v, uint64(r))
+	return v
+}

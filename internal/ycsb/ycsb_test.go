@@ -1,0 +1,97 @@
+package ycsb
+
+import (
+	"testing"
+)
+
+func TestZipfianRange(t *testing.T) {
+	z := NewZipfian(1000, 0.99, 1)
+	for i := 0; i < 100000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("sample %d out of range", v)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	const n, draws = 1000, 200000
+	z := NewZipfian(n, 0.99, 7)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// Hot item should dwarf the median item and take a noticeable share.
+	if counts[0] < draws/20 {
+		t.Errorf("hottest item got %d of %d draws; not skewed enough", counts[0], draws)
+	}
+	if counts[0] <= counts[n/2]*10 {
+		t.Errorf("head/median ratio too flat: %d vs %d", counts[0], counts[n/2])
+	}
+}
+
+func TestZipfianUniformWhenThetaZero(t *testing.T) {
+	const n, draws = 100, 100000
+	z := NewZipfian(n, 0.01, 3) // near-uniform
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("item %d never drawn under near-uniform skew", i)
+		}
+	}
+}
+
+func TestZipfianDeterministic(t *testing.T) {
+	a, b := NewZipfian(500, 0.99, 42), NewZipfian(500, 0.99, 42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed, different streams")
+		}
+	}
+}
+
+func TestGeneratorMix(t *testing.T) {
+	g := NewGenerator(Config{Records: 100, GetRatio: 0.95, Seed: 1})
+	gets := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		if op.Kind == OpGet {
+			gets++
+			if op.Val != nil {
+				t.Fatal("get op carries a value")
+			}
+		} else if len(op.Val) != 100 {
+			t.Fatalf("put value len = %d, want 100", len(op.Val))
+		}
+	}
+	ratio := float64(gets) / n
+	if ratio < 0.93 || ratio > 0.97 {
+		t.Fatalf("get ratio = %v, want ~0.95", ratio)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	for _, r := range []int64{0, 1, 99, 123456789} {
+		if got := KeyID(Key(r)); got != r {
+			t.Errorf("KeyID(Key(%d)) = %d", r, got)
+		}
+	}
+}
+
+func TestValidValue(t *testing.T) {
+	g := NewGenerator(Config{Records: 10, GetRatio: 0, Seed: 1})
+	v := g.LoadValue(7)
+	if !ValidValue(7, v) {
+		t.Error("LoadValue not valid for its own record")
+	}
+	if ValidValue(8, v) {
+		t.Error("value valid for wrong record")
+	}
+	if ValidValue(7, []byte("short")) {
+		t.Error("short value accepted")
+	}
+}
