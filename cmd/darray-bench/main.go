@@ -9,17 +9,22 @@
 //	darray-bench -fig fig13
 //	darray-bench -all
 //	darray-bench -fig fig16 -graph-scale 16 -max-nodes 8
+//	darray-bench -fig fig1 -metrics
+//	darray-bench -all -metrics -metrics-addr :8080   # live /debug/metrics + pprof
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"darray/internal/bench"
+	"darray/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +41,9 @@ func main() {
 		zipfOps    = flag.Int("zipf-ops", 20000, "fig14 ops per node")
 		randomOps  = flag.Int("random-ops", 20000, "fig18 ops per node")
 		threads    = flag.String("threads", "1,2,4,8", "thread sweep for fig12/fig17")
+		metrics    = flag.Bool("metrics", false, "collect telemetry; print per-experiment deltas and a final cluster-wide report")
+		metricsFmt = flag.String("metrics-format", "text", "final report format: text or json")
+		metricAddr = flag.String("metrics-addr", "", "serve live metrics (expvar, /debug/metrics, pprof) on this address; implies -metrics")
 	)
 	flag.Parse()
 
@@ -58,6 +66,26 @@ func main() {
 	p.ZipfOps = *zipfOps
 	p.RandomOps = *randomOps
 	p.Threads = parseInts(*threads)
+	if *metricAddr != "" {
+		*metrics = true
+	}
+	if *metrics {
+		reg := telemetry.New()
+		reg.Enable()
+		p.Telemetry = reg
+		if *metricAddr != "" {
+			// expvar under /debug/vars, the registry under /debug/metrics,
+			// and net/http/pprof's handlers — all on the default mux.
+			reg.Publish("darray")
+			http.Handle("/debug/metrics", reg.Handler())
+			go func() {
+				if err := http.ListenAndServe(*metricAddr, nil); err != nil {
+					fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+				}
+			}()
+			fmt.Printf("serving metrics on %s (/debug/metrics, /debug/vars, /debug/pprof)\n", *metricAddr)
+		}
+	}
 	bench.PrintModel(os.Stdout, p)
 	fmt.Println()
 
@@ -82,6 +110,15 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if p.Telemetry != nil {
+		snap := p.Telemetry.Snapshot().NonZero()
+		if *metricsFmt == "json" {
+			fmt.Println(snap.JSON())
+		} else {
+			fmt.Printf("# cumulative metrics (all experiments)\n%s", snap.Report())
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"darray/internal/cluster"
+	"darray/internal/core"
 	"darray/internal/engine"
 	"darray/internal/gemini"
 	"darray/internal/graph"
@@ -29,6 +30,7 @@ func main() {
 		threads = flag.Int("threads", 1, "application threads per node (darray engine)")
 		iters   = flag.Int("iters", 10, "PageRank iterations")
 		root    = flag.Int64("root", 0, "BFS/SSSP source vertex")
+		metrics = flag.Bool("metrics", false, "print the cluster telemetry report after the run")
 	)
 	flag.Parse()
 
@@ -36,7 +38,11 @@ func main() {
 	fmt.Printf("graph: %d vertices, %d edges | engine=%s app=%s nodes=%d threads=%d\n",
 		g.N, g.Edges(), *eng, *app, *nodes, *threads)
 
-	c := cluster.New(cluster.Config{Nodes: *nodes})
+	c := cluster.New(cluster.Config{
+		Nodes:       *nodes,
+		Metrics:     *metrics,
+		MsgKindName: core.KindName,
+	})
 	defer c.Close()
 
 	start := time.Now()
@@ -53,6 +59,9 @@ func main() {
 		}
 	})
 	fmt.Printf("%s\nwall time: %v\n", <-summary, time.Since(start).Round(time.Millisecond))
+	if *metrics {
+		fmt.Print(c.MetricsReport())
+	}
 }
 
 func loadGraph(path string, scale int) *graph.CSR {

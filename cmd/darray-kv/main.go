@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"darray/internal/cluster"
+	"darray/internal/core"
 	"darray/internal/gamkvs"
 	"darray/internal/kvs"
 	"darray/internal/stats"
@@ -31,10 +32,15 @@ func main() {
 		theta    = flag.Float64("theta", 0.99, "zipfian skew")
 		backend  = flag.String("backend", "darray", "darray or gam")
 		valueLen = flag.Int("value-len", 100, "value size in bytes")
+		metrics  = flag.Bool("metrics", false, "print the cluster telemetry report after the run")
 	)
 	flag.Parse()
 
-	c := cluster.New(cluster.Config{Nodes: *nodes})
+	c := cluster.New(cluster.Config{
+		Nodes:       *nodes,
+		Metrics:     *metrics,
+		MsgKindName: core.KindName,
+	})
 	defer c.Close()
 
 	cfg := kvs.Config{
@@ -118,4 +124,7 @@ func main() {
 	fmt.Printf("sampled host latency: p50=%v p99=%v max=%v\n",
 		time.Duration(lat.Percentile(50)), time.Duration(lat.Percentile(99)),
 		time.Duration(lat.Max()))
+	if *metrics {
+		fmt.Print(c.MetricsReport())
+	}
 }

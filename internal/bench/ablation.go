@@ -58,7 +58,8 @@ func seqReadWith(p Params, mutate func(*cluster.Config)) float64 {
 	if chunksPerRT < 32 {
 		chunksPerRT = 32
 	}
-	cfg := cluster.Config{Nodes: nodes, Model: p.Model, CacheChunks: int(chunksPerRT)}
+	cfg := cluster.Config{Nodes: nodes, Model: p.Model, CacheChunks: int(chunksPerRT),
+		Telemetry: p.Telemetry, MsgKindName: core.KindName}
 	mutate(&cfg)
 	c := cluster.New(cfg)
 	defer c.Close()

@@ -8,6 +8,7 @@ import (
 	"darray/internal/core"
 	"darray/internal/gam"
 	"darray/internal/stats"
+	"darray/internal/telemetry"
 	"darray/internal/vtime"
 )
 
@@ -25,6 +26,12 @@ type Params struct {
 	KVOps        int // per thread
 	ZipfOps      int // per node, Fig. 14
 	RandomOps    int // per node, Fig. 18
+
+	// Telemetry, when non-nil, is shared by every cluster the experiments
+	// build; each cluster folds its final counters into it on Close, so
+	// per-experiment deltas survive the (short-lived) clusters that
+	// produced them.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultParams returns container-friendly sizes.
@@ -54,6 +61,8 @@ func (p Params) cluster(nodes int) *cluster.Cluster {
 		Nodes:       nodes,
 		Model:       p.Model,
 		CacheChunks: int(perRT),
+		Telemetry:   p.Telemetry,
+		MsgKindName: core.KindName,
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"darray/internal/stats"
+	"darray/internal/telemetry"
 )
 
 // Experiment is one reproducible table/figure from the paper.
@@ -42,11 +43,24 @@ func Find(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// RunAndPrint executes an experiment and writes its tables to w.
+// RunAndPrint executes an experiment and writes its tables to w. When
+// p.Telemetry is set, the metric delta attributable to this experiment
+// (counters accumulated by its clusters, folded in as they close) is
+// appended after the tables.
 func RunAndPrint(w io.Writer, e Experiment, p Params) {
 	fmt.Fprintf(w, "## %s — %s\n\n", e.ID, e.Title)
+	var before telemetry.Snapshot
+	if p.Telemetry != nil {
+		before = p.Telemetry.Snapshot()
+	}
 	for _, t := range e.Run(p) {
 		fmt.Fprintln(w, t.Render())
+	}
+	if p.Telemetry != nil {
+		delta := p.Telemetry.Snapshot().Delta(before).NonZero()
+		if len(delta.Metrics) > 0 {
+			fmt.Fprintf(w, "### %s metrics\n\n%s\n", e.ID, delta.Report())
+		}
 	}
 }
 

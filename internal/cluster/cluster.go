@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"darray/internal/fabric"
+	"darray/internal/telemetry"
 	"darray/internal/vtime"
 )
 
@@ -34,6 +35,17 @@ type Config struct {
 	LowWatermark  float64 // eviction trigger, fraction of free lines; default 0.30
 	HighWatermark float64 // eviction target, fraction of free lines; default 0.50
 	PrefetchAhead int     // chunks prefetched on a sequential miss; default 2
+
+	// Telemetry optionally shares one metrics registry across clusters
+	// (the benchmark harness builds one cluster per data point); nil
+	// gives this cluster a private registry.
+	Telemetry *telemetry.Registry
+	// Metrics enables telemetry collection from startup. When false the
+	// instrumented fast paths pay only an atomic-load guard.
+	Metrics bool
+	// MsgKindName labels protocol message kinds in fabric metrics and
+	// reports (e.g. core.KindName); nil falls back to "kind-N".
+	MsgKindName func(uint8) string
 }
 
 func (c *Config) fill() {
@@ -78,6 +90,10 @@ type Cluster struct {
 	reduceAcc float64
 	reduceN   int
 
+	tel        *telemetry.Registry
+	telMu      sync.Mutex
+	telHandles []*telemetry.Collector
+
 	closeOnce sync.Once
 }
 
@@ -89,7 +105,15 @@ func New(cfg Config) *Cluster {
 		cfg:     cfg,
 		fab:     fabric.New(fabric.Config{Nodes: cfg.Nodes, Model: cfg.Model}),
 		collSeq: make(map[uint64]*collSlot),
+		tel:     cfg.Telemetry,
 	}
+	if c.tel == nil {
+		c.tel = telemetry.New()
+	}
+	if cfg.Metrics {
+		c.tel.Enable()
+	}
+	c.AddMetricsCollector(c.collectFabric)
 	c.bar.parties = cfg.Nodes
 	c.nodes = make([]*Node, cfg.Nodes)
 	for i := range c.nodes {
@@ -131,14 +155,93 @@ func (c *Cluster) Run(fn func(n *Node)) {
 }
 
 // Close stops all comm and runtime goroutines. The cluster must be
-// quiescent (no Run in flight).
+// quiescent (no Run in flight). Metrics collectors registered through
+// this cluster are folded into the registry's retained store, so a
+// shared registry keeps cluster-wide totals after the cluster dies.
 func (c *Cluster) Close() {
 	c.closeOnce.Do(func() {
 		c.fab.Close()
 		for _, n := range c.nodes {
 			n.stopAll()
 		}
+		c.telMu.Lock()
+		handles := c.telHandles
+		c.telHandles = nil
+		c.telMu.Unlock()
+		for _, h := range handles {
+			c.tel.RemoveCollector(h)
+		}
 	})
+}
+
+// Telemetry returns the cluster's metrics registry.
+func (c *Cluster) Telemetry() *telemetry.Registry { return c.tel }
+
+// AddMetricsCollector registers a snapshot-time metrics source whose
+// lifetime is bound to this cluster: Close folds its final values into
+// the registry so nothing references the dead cluster afterwards.
+func (c *Cluster) AddMetricsCollector(fn telemetry.CollectorFunc) {
+	h := c.tel.AddCollector(fn)
+	c.telMu.Lock()
+	c.telHandles = append(c.telHandles, h)
+	c.telMu.Unlock()
+}
+
+// MetricsReport renders the current metrics snapshot as aligned text.
+func (c *Cluster) MetricsReport() string { return c.tel.Snapshot().NonZero().Report() }
+
+// MetricsJSON renders the current metrics snapshot as JSON.
+func (c *Cluster) MetricsJSON() string { return c.tel.Snapshot().NonZero().JSON() }
+
+// collectFabric contributes per-endpoint traffic counters and per-link
+// byte histograms to metrics snapshots.
+func (c *Cluster) collectFabric(emit telemetry.Emit) {
+	perNode := func(name string, node int, v int64) {
+		if v == 0 {
+			return
+		}
+		per := make([]int64, node+1)
+		per[node] = v
+		emit(telemetry.Metric{Name: name, Kind: telemetry.KindCounter, PerNode: per})
+	}
+	for i := 0; i < c.cfg.Nodes; i++ {
+		st := c.fab.Endpoint(i).Stats()
+		perNode("fabric/msgs_sent", i, st.MsgsSent.Load())
+		perNode("fabric/bytes_sent", i, st.BytesSent.Load())
+		perNode("fabric/onesided_ops", i, st.OneSidedOps.Load())
+		perNode("fabric/onesided_bytes", i, st.OneSidedByte.Load())
+		perNode("fabric/onesided_reads", i, st.Reads.Load())
+		perNode("fabric/onesided_writes", i, st.Writes.Load())
+		perNode("fabric/onesided_cas", i, st.CASs.Load())
+		for k := 0; k < fabric.MaxMsgKinds; k++ {
+			n := st.KindCount(uint8(k))
+			if n == 0 {
+				continue
+			}
+			name := ""
+			if c.cfg.MsgKindName != nil {
+				name = c.cfg.MsgKindName(uint8(k))
+			}
+			if name == "" {
+				name = fmt.Sprintf("kind-%d", k)
+			}
+			perNode("fabric/msgs/"+name, i, n)
+		}
+		for j := 0; j < c.cfg.Nodes; j++ {
+			h := c.fab.Endpoint(i).LinkBytes(j).Data()
+			if h.Count == 0 {
+				continue
+			}
+			per := make([]int64, i+1)
+			per[i] = h.Count
+			emit(telemetry.Metric{
+				Name:    fmt.Sprintf("fabric/link_bytes/%d->%d", i, j),
+				Kind:    telemetry.KindHistogram,
+				PerNode: per,
+				Hist:    h,
+			})
+		}
+	}
 }
 
 // NextArrayID allocates a cluster-unique id for a distributed object.

@@ -7,6 +7,7 @@ import (
 
 	"darray/internal/cluster"
 	"darray/internal/fabric"
+	"darray/internal/telemetry"
 	"darray/internal/vtime"
 )
 
@@ -33,6 +34,10 @@ type Array struct {
 	local []uint64 // this node's subarray
 	dents []dentry // one per global chunk
 
+	// reg is the owning cluster's telemetry registry; its enable flag
+	// gates the fast-path counters below (see telOn).
+	reg *telemetry.Registry
+
 	// Protocol counters (updated by runtime goroutines with atomics).
 	Metrics Metrics
 
@@ -40,6 +45,11 @@ type Array struct {
 }
 
 // Metrics aggregates protocol-side events for one node's handle.
+//
+// Slow-path counters (everything the runtime goroutines touch) are
+// always maintained. The fast-path group at the bottom is only counted
+// while cluster telemetry is enabled, so the lock-free access paths pay
+// a single atomic load when it is not.
 type Metrics struct {
 	Fills      atomic.Int64 // cache lines filled from remote data
 	Evictions  atomic.Int64
@@ -49,6 +59,25 @@ type Metrics struct {
 	Invals     atomic.Int64 // invalidations processed
 	Recalls    atomic.Int64
 	Prefetches atomic.Int64
+
+	Downgrades        atomic.Int64 // Dirty owners asked to write back but keep reading
+	OpMergesVoluntary atomic.Int64 // merges of eviction-driven (voluntary) flushes
+	OpMergesRecalled  atomic.Int64 // merges demanded by an Operated collapse
+	ReclaimSweeps     atomic.Int64 // clock-hand reclamation passes (paper §4.2)
+	ReclaimScanned    atomic.Int64 // cache lines inspected by those passes
+	RefDrainStalls    atomic.Int64 // permission demotions that waited out live references
+
+	// Transitions counts each edge of the home directory state machine
+	// (paper Figure 5), indexed by Transition.
+	Transitions [NumTransitions]atomic.Int64
+
+	// Fast-path counters, gated on cluster telemetry (see telOn).
+	Hits        atomic.Int64 // fast-path accesses served from a resident chunk
+	Misses      atomic.Int64 // slow-path requests submitted to the runtime
+	DelayStalls atomic.Int64 // fast-path encounters with a raised delay flag
+	PinFast     atomic.Int64 // pins granted on the lock-free path
+	PinSlow     atomic.Int64 // pins that needed the runtime
+	Combines    atomic.Int64 // Operate combines into a local buffer
 }
 
 // Options configures construction beyond the defaults.
@@ -128,7 +157,7 @@ func buildShared(c *cluster.Cluster, n int64, opt Options) *shared {
 	sh.insts = make([]*Array, nodes)
 	for v := int64(0); v < nodes; v++ {
 		node := c.Node(int(v))
-		a := &Array{sh: sh, node: node, model: c.Model()}
+		a := &Array{sh: sh, node: node, model: c.Model(), reg: c.Telemetry()}
 		lo, hi := sh.starts[v]*cw, sh.starts[v+1]*cw
 		if hi > n {
 			hi = n
@@ -172,6 +201,7 @@ func (a *Array) wire() {
 		},
 		Handle: a.handleMsg,
 	})
+	a.node.Cluster().AddMetricsCollector(a.collectMetrics)
 }
 
 // ID returns the array's cluster-wide id.

@@ -96,6 +96,8 @@ func (s *rtState) startReclaim() {
 		}
 		s.arr.evictLine(s.rt, d)
 	}
+	s.arr.Metrics.ReclaimSweeps.Add(1)
+	s.arr.Metrics.ReclaimScanned.Add(int64(scanned))
 	s.reclaiming = false
 }
 
@@ -104,7 +106,7 @@ func (s *rtState) startReclaim() {
 // to wait out late-arriving references, the final steps may run as a
 // stalled continuation; d.busy stays set until done.
 func (a *Array) evictLine(rt *cluster.Runtime, d *dentry) {
-	a.trace("evict", d.ci, -1)
+	a.trace("evict", d.ci, -1, d.tvt)
 	d.busy = true
 	st := d.state.Load()
 	d.delay.Store(true)

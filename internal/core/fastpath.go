@@ -19,8 +19,13 @@ func (a *Array) Get(ctx *cluster.Ctx, i int64) uint64 {
 		ctx.Clock.Advance(m.GetHit)
 	}
 	for {
-		for d.delay.Load() { // prevent runtime starvation
-			runtime.Gosched()
+		if d.delay.Load() { // prevent runtime starvation
+			if a.telOn() {
+				a.Metrics.DelayStalls.Add(1)
+			}
+			for d.delay.Load() {
+				runtime.Gosched()
+			}
 		}
 		d.refcnt.Add(1) // hold a reference
 		st := d.state.Load()
@@ -28,6 +33,9 @@ func (a *Array) Get(ctx *cluster.Ctx, i int64) uint64 {
 			v := d.data[off]
 			d.refcnt.Add(-1) // release the reference
 			ctx.Stats.Hits++
+			if a.telOn() {
+				a.Metrics.Hits.Add(1)
+			}
 			return v
 		}
 		d.refcnt.Add(-1)
@@ -46,8 +54,13 @@ func (a *Array) Set(ctx *cluster.Ctx, i int64, v uint64) {
 		ctx.Clock.Advance(m.SetHit)
 	}
 	for {
-		for d.delay.Load() {
-			runtime.Gosched()
+		if d.delay.Load() {
+			if a.telOn() {
+				a.Metrics.DelayStalls.Add(1)
+			}
+			for d.delay.Load() {
+				runtime.Gosched()
+			}
 		}
 		d.refcnt.Add(1)
 		st := d.state.Load()
@@ -55,6 +68,9 @@ func (a *Array) Set(ctx *cluster.Ctx, i int64, v uint64) {
 			d.data[off] = v
 			d.refcnt.Add(-1)
 			ctx.Stats.Hits++
+			if a.telOn() {
+				a.Metrics.Hits.Add(1)
+			}
 			return
 		}
 		d.refcnt.Add(-1)
@@ -77,8 +93,13 @@ func (a *Array) Apply(ctx *cluster.Ctx, op OpID, i int64, operand uint64) {
 		ctx.Clock.Advance(m.ApplyHit)
 	}
 	for {
-		for d.delay.Load() {
-			runtime.Gosched()
+		if d.delay.Load() {
+			if a.telOn() {
+				a.Metrics.DelayStalls.Add(1)
+			}
+			for d.delay.Load() {
+				runtime.Gosched()
+			}
 		}
 		d.refcnt.Add(1)
 		st := d.state.Load()
@@ -93,6 +114,10 @@ func (a *Array) Apply(ctx *cluster.Ctx, op OpID, i int64, operand uint64) {
 			d.refcnt.Add(-1)
 			ctx.Stats.Hits++
 			ctx.Stats.Combines++
+			if a.telOn() {
+				a.Metrics.Hits.Add(1)
+				a.Metrics.Combines.Add(1)
+			}
 			return
 		}
 		d.refcnt.Add(-1)
@@ -105,6 +130,9 @@ func (a *Array) Apply(ctx *cluster.Ctx, op OpID, i int64, operand uint64) {
 // fast path. The response carries the virtual completion time.
 func (a *Array) slowPath(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, op OpID) {
 	ctx.Stats.Misses++
+	if a.telOn() {
+		a.Metrics.Misses.Add(1)
+	}
 	vt := ctx.Clock.Now()
 	if m := a.model; m != nil {
 		vt += m.SlowFixed

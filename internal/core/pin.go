@@ -59,17 +59,28 @@ func (a *Array) pin(ctx *cluster.Ctx, i int64, want uint8, op OpID) *Pin {
 		return &Pin{a: a, d: d, base: base, limit: limit, apFn: fn, op: op}
 	}
 	for {
-		for d.delay.Load() {
-			runtime.Gosched()
+		if d.delay.Load() {
+			if a.telOn() {
+				a.Metrics.DelayStalls.Add(1)
+			}
+			for d.delay.Load() {
+				runtime.Gosched()
+			}
 		}
 		d.refcnt.Add(1)
 		if satisfies(d.state.Load(), want, op) {
 			ctx.Stats.Hits++
+			if a.telOn() {
+				a.Metrics.PinFast.Add(1)
+			}
 			return mk() // keep the reference: that is the pin
 		}
 		d.refcnt.Add(-1)
 		if a.slowPathPin(ctx, d, ci, want, op) {
 			// The runtime took the reference on our behalf.
+			if a.telOn() {
+				a.Metrics.PinSlow.Add(1)
+			}
 			return mk()
 		}
 	}
@@ -80,6 +91,9 @@ func (a *Array) pin(ctx *cluster.Ctx, i int64, want uint8, op OpID) *Pin {
 // reports whether the pin was granted.
 func (a *Array) slowPathPin(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, op OpID) bool {
 	ctx.Stats.Misses++
+	if a.telOn() {
+		a.Metrics.Misses.Add(1)
+	}
 	vt := ctx.Clock.Now()
 	if m := a.model; m != nil {
 		vt += m.SlowFixed

@@ -79,7 +79,7 @@ func (a *Array) handleMsg(rt *cluster.Runtime, m *fabric.Message) {
 		return
 	}
 	d := &a.dents[m.Chunk]
-	a.trace(kindName(m.Kind), m.Chunk, m.From)
+	a.trace(kindName(m.Kind), m.Chunk, m.From, m.VT)
 	svt := a.charge(rt, m.VT)
 	switch m.Kind {
 	case msgReadReq:
@@ -113,7 +113,7 @@ func (a *Array) handleMsg(rt *cluster.Runtime, m *fabric.Message) {
 
 // handleLocal is the runtime-side entry for a local slow-path request.
 func (a *Array) handleLocal(rt *cluster.Runtime, d *dentry, ci int64, w *waiter) {
-	a.trace("local-req", ci, -1)
+	a.trace("local-req", ci, -1, w.vt)
 	svt := a.charge(rt, w.vt)
 	if satisfies(d.state.Load(), w.want, w.op) {
 		a.respond(rt, d, w, maxi64(svt, d.tvt))
@@ -182,6 +182,9 @@ func (a *Array) homeStep(rt *cluster.Runtime, d *dentry, r homeReq) {
 		a.homeFromDirty(rt, d, r, local)
 	case dirOperated:
 		if !local && r.want == wantOperate && r.op == d.opID {
+			if d.opNodes&(1<<uint(r.from)) == 0 {
+				a.transition(TransOperatedAddNode)
+			}
 			d.opNodes |= 1 << uint(r.from)
 			a.grantOperate(rt, d, r)
 			return
@@ -208,18 +211,21 @@ func (a *Array) homeFromUnshared(rt *cluster.Runtime, d *dentry, r homeReq, loca
 	switch r.want {
 	case wantRead:
 		a.demoteLocal(rt, d, permRead, func(rt *cluster.Runtime) {
+			a.transition(TransUnsharedToShared)
 			d.dstate = dirShared
 			d.sharers = 1 << uint(r.from)
 			a.grantData(rt, d, r, permRead)
 		})
 	case wantWrite:
 		a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
+			a.transition(TransUnsharedToDirty)
 			d.dstate = dirDirty
 			d.owner = int32(r.from)
 			a.grantData(rt, d, r, permRW)
 		})
 	case wantOperate:
 		a.demoteLocal(rt, d, packState(permOperated, r.op), func(rt *cluster.Runtime) {
+			a.transition(TransUnsharedToOperated)
 			d.dstate = dirOperated
 			d.opID = r.op
 			d.opNodes = 1 << uint(r.from)
@@ -235,6 +241,9 @@ func (a *Array) homeFromShared(rt *cluster.Runtime, d *dentry, r homeReq, local 
 			a.homeFinish(rt, d, r) // home perm is Read already
 			return
 		}
+		if d.sharers&(1<<uint(r.from)) == 0 {
+			a.transition(TransSharedAddSharer)
+		}
 		d.sharers |= 1 << uint(r.from)
 		a.grantData(rt, d, r, permRead)
 	case wantWrite:
@@ -245,12 +254,14 @@ func (a *Array) homeFromShared(rt *cluster.Runtime, d *dentry, r homeReq, local 
 		a.invalidateSharers(rt, d, except, func(rt *cluster.Runtime) {
 			if local {
 				// Permission promotion Read→RW needs no drain (Fig. 6).
+				a.transition(TransSharedToUnshared)
 				d.dstate = dirUnshared
 				d.state.Store(permRW)
 				a.homeFinish(rt, d, r)
 				return
 			}
 			a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
+				a.transition(TransSharedToDirty)
 				d.dstate = dirDirty
 				d.owner = int32(r.from)
 				a.grantData(rt, d, r, permRW)
@@ -263,12 +274,14 @@ func (a *Array) homeFromShared(rt *cluster.Runtime, d *dentry, r homeReq, local 
 		}
 		a.invalidateSharers(rt, d, except, func(rt *cluster.Runtime) {
 			if local {
+				a.transition(TransSharedToUnshared)
 				d.dstate = dirUnshared
 				d.state.Store(permRW) // RW satisfies Apply at home
 				a.homeFinish(rt, d, r)
 				return
 			}
 			a.demoteLocal(rt, d, packState(permOperated, r.op), func(rt *cluster.Runtime) {
+				a.transition(TransSharedToOperated)
 				d.dstate = dirOperated
 				d.opID = r.op
 				d.opNodes = 1 << uint(r.from)
@@ -286,6 +299,7 @@ func (a *Array) homeFromDirty(rt *cluster.Runtime, d *dentry, r homeReq, local b
 	if !local && r.want == wantRead {
 		// Dirty --Remote R--> Shared: the owner keeps a Shared copy.
 		a.downgradeDirty(rt, d, func(rt *cluster.Runtime) {
+			a.transition(TransDirtyToShared)
 			d.dstate = dirShared
 			d.sharers = (1 << uint(owner)) | (1 << uint(r.from))
 			d.state.Store(permRead)
@@ -294,6 +308,7 @@ func (a *Array) homeFromDirty(rt *cluster.Runtime, d *dentry, r homeReq, local b
 		return
 	}
 	a.recallDirty(rt, d, func(rt *cluster.Runtime) {
+		a.transition(TransDirtyToUnshared)
 		d.dstate = dirUnshared
 		d.owner = -1
 		d.state.Store(permRW)
@@ -401,6 +416,7 @@ func (a *Array) demoteLocal(rt *cluster.Runtime, d *dentry, newState uint32, con
 		cont(rt)
 		return
 	}
+	a.Metrics.RefDrainStalls.Add(1)
 	rt.Stall(func(rt *cluster.Runtime) bool {
 		if d.refcnt.Load() != 0 {
 			return false
@@ -463,7 +479,7 @@ func (a *Array) recallDirty(rt *cluster.Runtime, d *dentry, cont func(rt *cluste
 
 // downgradeDirty asks the Dirty owner to write back but keep reading.
 func (a *Array) downgradeDirty(rt *cluster.Runtime, d *dentry, cont func(rt *cluster.Runtime)) {
-	a.Metrics.Recalls.Add(1)
+	a.Metrics.Downgrades.Add(1)
 	d.onWB = func(rt *cluster.Runtime, data []uint64, vt int64) {
 		copy(d.data, data)
 		d.tvt = maxi64(d.tvt, vt)
@@ -486,6 +502,7 @@ func (a *Array) handleWBData(rt *cluster.Runtime, d *dentry, m *fabric.Message, 
 		panic("core: writeback from non-owner")
 	}
 	copy(d.data, m.Data)
+	a.transition(TransDirtyToUnshared)
 	d.dstate = dirUnshared
 	d.owner = -1
 	d.state.Store(permRW)
@@ -502,6 +519,7 @@ func (a *Array) collapseOperated(rt *cluster.Runtime, d *dentry, cont func(rt *c
 		mask := d.opNodes
 		n := bits.OnesCount64(mask)
 		finish := func(rt *cluster.Runtime) {
+			a.transition(TransOperatedToUnshared)
 			d.dstate = dirUnshared
 			d.opNodes = 0
 			d.opID = 0
@@ -531,6 +549,11 @@ func (a *Array) handleOpFlush(rt *cluster.Runtime, d *dentry, m *fabric.Message,
 	op := a.op(OpID(m.OpID))
 	a.mergeOperands(d, m.Data, op)
 	a.Metrics.OpMerges.Add(1)
+	if m.Flag {
+		a.Metrics.OpMergesVoluntary.Add(1)
+	} else {
+		a.Metrics.OpMergesRecalled.Add(1)
+	}
 	d.opNodes &^= 1 << uint(m.From)
 	d.tvt = maxi64(d.tvt, svt+a.copyCost(len(m.Data)))
 	if d.opAcks > 0 {

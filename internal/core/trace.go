@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -13,11 +14,12 @@ type TraceEvent struct {
 	Chunk int64
 	Kind  string // message kind or local event name
 	From  int    // requesting/sending node (-1 for local events)
+	VT    int64  // virtual time the event was serviced at
 }
 
 // String renders the event for logs.
 func (e TraceEvent) String() string {
-	return fmt.Sprintf("#%d n%d chunk %d %s from=%d", e.Seq, e.Node, e.Chunk, e.Kind, e.From)
+	return fmt.Sprintf("#%d n%d chunk %d %s from=%d vt=%d", e.Seq, e.Node, e.Chunk, e.Kind, e.From, e.VT)
 }
 
 // tracer is a bounded ring of protocol events, disabled by default. It
@@ -65,13 +67,13 @@ func (a *Array) TraceEvents() []TraceEvent {
 
 // trace records one event when tracing is on (a single atomic load when
 // off, so the protocol handlers can call it unconditionally).
-func (a *Array) trace(kind string, ci int64, from int) {
+func (a *Array) trace(kind string, ci int64, from int, vt int64) {
 	if !a.tr.on.Load() {
 		return
 	}
 	a.tr.mu.Lock()
 	a.tr.seq++
-	ev := TraceEvent{Seq: a.tr.seq, Node: a.node.ID(), Chunk: ci, Kind: kind, From: from}
+	ev := TraceEvent{Seq: a.tr.seq, Node: a.node.ID(), Chunk: ci, Kind: kind, From: from, VT: vt}
 	if len(a.tr.ring) == 0 {
 		a.tr.mu.Unlock()
 		return
@@ -83,6 +85,32 @@ func (a *Array) trace(kind string, ci int64, from int) {
 		a.tr.full = true
 	}
 	a.tr.mu.Unlock()
+}
+
+// MergedTrace interleaves the recorded events of several node handles
+// into one cluster-wide timeline ordered by virtual time (ties broken by
+// node, then per-node sequence). Because virtual time is the simulated
+// causal order, the merged view reads as "what the cluster did", not
+// "what each node separately remembers" — the usual first step when
+// debugging a cross-node coherence interaction.
+func MergedTrace(arrays ...*Array) []TraceEvent {
+	var out []TraceEvent
+	for _, a := range arrays {
+		if a == nil {
+			continue
+		}
+		out = append(out, a.TraceEvents()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].VT != out[j].VT {
+			return out[i].VT < out[j].VT
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
 }
 
 // kindName maps protocol message kinds to stable names for traces.

@@ -16,10 +16,12 @@ package fabric
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"darray/internal/queue"
+	"darray/internal/telemetry"
 	"darray/internal/vtime"
 )
 
@@ -49,12 +51,63 @@ const msgHeaderBytes = 64 // wire size of a payload-free protocol message
 // Bytes returns the message's wire size.
 func (m *Message) Bytes() int { return msgHeaderBytes + 8*len(m.Data) }
 
-// Counters aggregates per-endpoint traffic statistics.
+// MaxMsgKinds bounds the per-kind message counters; protocol kinds are
+// small consecutive integers (core uses 15), so 32 leaves headroom.
+const MaxMsgKinds = 32
+
+// Counters aggregates per-endpoint traffic statistics: aggregate
+// message/byte totals, per-message-kind counts, and per-verb one-sided
+// operation counts.
 type Counters struct {
 	MsgsSent     atomic.Int64
 	BytesSent    atomic.Int64
 	OneSidedOps  atomic.Int64
 	OneSidedByte atomic.Int64
+
+	// One-sided verbs, by type.
+	Reads  atomic.Int64
+	Writes atomic.Int64
+	CASs   atomic.Int64
+
+	perKind [MaxMsgKinds]atomic.Int64
+}
+
+// KindCount returns how many messages of protocol kind k were sent.
+func (c *Counters) KindCount(k uint8) int64 {
+	if int(k) >= MaxMsgKinds {
+		return 0
+	}
+	return c.perKind[k].Load()
+}
+
+// Report renders the counters human-readably. namer maps protocol
+// message kinds to names (nil falls back to "kind-N"); the fabric treats
+// kinds as opaque, so the protocol layer supplies the vocabulary.
+func (c *Counters) Report(namer func(uint8) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "msgs=%d bytes=%d one-sided: ops=%d (read=%d write=%d cas=%d) bytes=%d",
+		c.MsgsSent.Load(), c.BytesSent.Load(), c.OneSidedOps.Load(),
+		c.Reads.Load(), c.Writes.Load(), c.CASs.Load(), c.OneSidedByte.Load())
+	first := true
+	for k := 0; k < MaxMsgKinds; k++ {
+		n := c.perKind[k].Load()
+		if n == 0 {
+			continue
+		}
+		if first {
+			b.WriteString("\n  per-kind:")
+			first = false
+		}
+		name := ""
+		if namer != nil {
+			name = namer(uint8(k))
+		}
+		if name == "" {
+			name = fmt.Sprintf("kind-%d", k)
+		}
+		fmt.Fprintf(&b, " %s=%d", name, n)
+	}
+	return b.String()
 }
 
 // Config describes a fabric instance.
@@ -78,12 +131,13 @@ func New(cfg Config) *Fabric {
 	f.eps = make([]*Endpoint, cfg.Nodes)
 	for i := range f.eps {
 		f.eps[i] = &Endpoint{
-			fab:  f,
-			id:   i,
-			rx:   queue.NewMPSC[*Message](),
-			tx:   make([]vtime.Resource, cfg.Nodes),
-			mrs:  make(map[uint32][]uint64),
-			stop: make(chan struct{}),
+			fab:       f,
+			id:        i,
+			rx:        queue.NewMPSC[*Message](),
+			tx:        make([]vtime.Resource, cfg.Nodes),
+			linkBytes: make([]telemetry.Histogram, cfg.Nodes),
+			mrs:       make(map[uint32][]uint64),
+			stop:      make(chan struct{}),
 		}
 	}
 	return f
@@ -113,6 +167,10 @@ type Endpoint struct {
 	rx *queue.MPSC[*Message]
 	tx []vtime.Resource // per-destination egress bandwidth resource
 
+	// linkBytes[dst] is the byte-size distribution of messages sent on
+	// the (this endpoint -> dst) link.
+	linkBytes []telemetry.Histogram
+
 	mrMu sync.RWMutex
 	mrs  map[uint32][]uint64 // registered memory regions, by key
 
@@ -126,6 +184,10 @@ func (e *Endpoint) ID() int { return e.id }
 
 // Stats exposes the endpoint's traffic counters.
 func (e *Endpoint) Stats() *Counters { return &e.stats }
+
+// LinkBytes exposes the byte histogram of the (this endpoint -> dst)
+// link.
+func (e *Endpoint) LinkBytes(dst int) *telemetry.Histogram { return &e.linkBytes[dst] }
 
 // RegisterMR registers a memory region for one-sided access under key.
 // Keys are global per node (array id, typically).
@@ -164,6 +226,10 @@ func (e *Endpoint) Post(m *Message) {
 	}
 	e.stats.MsgsSent.Add(1)
 	e.stats.BytesSent.Add(int64(m.Bytes()))
+	if int(m.Kind) < MaxMsgKinds {
+		e.stats.perKind[m.Kind].Add(1)
+	}
+	e.linkBytes[m.To].Observe(int64(m.Bytes()))
 	dst.rx.Push(m)
 }
 
@@ -192,6 +258,7 @@ func (e *Endpoint) roundTrip(clock *vtime.Clock, to int, bytes int) {
 // ReadWord performs a one-sided 8-byte READ from (node to, region key,
 // word offset off).
 func (e *Endpoint) ReadWord(clock *vtime.Clock, to int, key uint32, off int64) uint64 {
+	e.stats.Reads.Add(1)
 	e.roundTrip(clock, to, 8)
 	r := e.fab.eps[to].region(key)
 	return atomic.LoadUint64(&r[off])
@@ -199,6 +266,7 @@ func (e *Endpoint) ReadWord(clock *vtime.Clock, to int, key uint32, off int64) u
 
 // WriteWord performs a one-sided 8-byte WRITE.
 func (e *Endpoint) WriteWord(clock *vtime.Clock, to int, key uint32, off int64, v uint64) {
+	e.stats.Writes.Add(1)
 	e.roundTrip(clock, to, 8)
 	r := e.fab.eps[to].region(key)
 	atomic.StoreUint64(&r[off], v)
@@ -207,6 +275,7 @@ func (e *Endpoint) WriteWord(clock *vtime.Clock, to int, key uint32, off int64, 
 // CompareAndSwap performs a one-sided atomic CAS (used by baselines for
 // remote read-modify-write without a coherence protocol).
 func (e *Endpoint) CompareAndSwap(clock *vtime.Clock, to int, key uint32, off int64, old, new uint64) bool {
+	e.stats.CASs.Add(1)
 	e.roundTrip(clock, to, 8)
 	r := e.fab.eps[to].region(key)
 	return atomic.CompareAndSwapUint64(&r[off], old, new)
@@ -214,6 +283,7 @@ func (e *Endpoint) CompareAndSwap(clock *vtime.Clock, to int, key uint32, off in
 
 // ReadWords performs a one-sided READ of n words into dst.
 func (e *Endpoint) ReadWords(clock *vtime.Clock, to int, key uint32, off int64, dst []uint64) {
+	e.stats.Reads.Add(1)
 	e.roundTrip(clock, to, 8*len(dst))
 	r := e.fab.eps[to].region(key)
 	for i := range dst {
@@ -223,6 +293,7 @@ func (e *Endpoint) ReadWords(clock *vtime.Clock, to int, key uint32, off int64, 
 
 // WriteWords performs a one-sided WRITE of src.
 func (e *Endpoint) WriteWords(clock *vtime.Clock, to int, key uint32, off int64, src []uint64) {
+	e.stats.Writes.Add(1)
 	e.roundTrip(clock, to, 8*len(src))
 	r := e.fab.eps[to].region(key)
 	for i, v := range src {

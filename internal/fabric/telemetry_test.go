@@ -1,0 +1,77 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPerKindAndLinkCounters(t *testing.T) {
+	f := New(Config{Nodes: 2})
+	defer f.Close()
+	e0 := f.Endpoint(0)
+	e0.Post(&Message{To: 1, Kind: 3})
+	e0.Post(&Message{To: 1, Kind: 3})
+	e0.Post(&Message{To: 1, Kind: 7, Data: make([]uint64, 8)})
+	for i := 0; i < 3; i++ {
+		if _, ok := f.Endpoint(1).PollWait(); !ok {
+			t.Fatal("message lost")
+		}
+	}
+	st := e0.Stats()
+	if st.KindCount(3) != 2 || st.KindCount(7) != 1 || st.KindCount(0) != 0 {
+		t.Errorf("per-kind counts: k3=%d k7=%d k0=%d", st.KindCount(3), st.KindCount(7), st.KindCount(0))
+	}
+	h := e0.LinkBytes(1).Data()
+	if h.Count != 3 {
+		t.Errorf("link 0->1 count = %d, want 3", h.Count)
+	}
+	if want := int64(64 + 64 + 64 + 8*8); h.Sum != want {
+		t.Errorf("link 0->1 bytes = %d, want %d", h.Sum, want)
+	}
+	if got := e0.LinkBytes(0).Data().Count; got != 0 {
+		t.Errorf("self-link count = %d, want 0", got)
+	}
+}
+
+func TestOneSidedVerbCounters(t *testing.T) {
+	f := New(Config{Nodes: 2})
+	defer f.Close()
+	f.Endpoint(1).RegisterMR(9, make([]uint64, 16))
+	e := f.Endpoint(0)
+	e.ReadWord(nil, 1, 9, 0)
+	e.WriteWord(nil, 1, 9, 0, 5)
+	e.CompareAndSwap(nil, 1, 9, 0, 5, 6)
+	e.ReadWords(nil, 1, 9, 0, make([]uint64, 4))
+	e.WriteWords(nil, 1, 9, 0, make([]uint64, 4))
+	st := e.Stats()
+	if st.Reads.Load() != 2 || st.Writes.Load() != 2 || st.CASs.Load() != 1 {
+		t.Errorf("verb counts: r=%d w=%d cas=%d", st.Reads.Load(), st.Writes.Load(), st.CASs.Load())
+	}
+	if st.OneSidedOps.Load() != 5 {
+		t.Errorf("one-sided ops = %d, want 5", st.OneSidedOps.Load())
+	}
+}
+
+func TestCountersReport(t *testing.T) {
+	f := New(Config{Nodes: 2})
+	defer f.Close()
+	e := f.Endpoint(0)
+	e.Post(&Message{To: 1, Kind: 2})
+	f.Endpoint(1).PollWait()
+
+	rep := e.Stats().Report(nil)
+	for _, want := range []string{"msgs=1", "kind-2=1", "one-sided"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	named := e.Stats().Report(func(k uint8) string {
+		if k == 2 {
+			return "operate-req"
+		}
+		return ""
+	})
+	if !strings.Contains(named, "operate-req=1") {
+		t.Errorf("named report missing kind name:\n%s", named)
+	}
+}

@@ -1,0 +1,28 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+)
+
+// Publish registers the registry under name in the process-wide expvar
+// namespace, so /debug/vars serves a live snapshot. Publishing the same
+// name twice panics (expvar semantics); call once per process.
+func (r *Registry) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Handler returns an http.Handler serving the current snapshot: JSON by
+// default, the aligned-text report with ?format=text.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := r.Snapshot()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(s.Report()))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(s.JSON()))
+	})
+}

@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// HistData is a point-in-time histogram value.
+type HistData struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Buckets []int64 `json:"buckets,omitempty"` // len HistBuckets when present
+}
+
+func (h *HistData) ensure() {
+	if h.Buckets == nil {
+		h.Buckets = make([]int64, HistBuckets)
+	}
+}
+
+func (h *HistData) merge(o *HistData) {
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.Buckets != nil {
+		h.ensure()
+		for i, n := range o.Buckets {
+			h.Buckets[i] += n
+		}
+	}
+}
+
+// Mean returns the average observation, or 0 without samples.
+func (h *HistData) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Metric is one named value in a snapshot: a counter or gauge with
+// per-node values, or a histogram.
+type Metric struct {
+	Name    string    `json:"name"`
+	Kind    string    `json:"kind"`
+	PerNode []int64   `json:"per_node,omitempty"`
+	Hist    *HistData `json:"hist,omitempty"`
+}
+
+// Total returns the cluster-wide value: the sum across nodes.
+func (m *Metric) Total() int64 {
+	var t int64
+	for _, v := range m.PerNode {
+		t += v
+	}
+	return t
+}
+
+func (m Metric) clone() Metric {
+	c := m
+	c.PerNode = append([]int64(nil), m.PerNode...)
+	if m.Hist != nil {
+		h := *m.Hist
+		h.Buckets = append([]int64(nil), m.Hist.Buckets...)
+		c.Hist = &h
+	}
+	return c
+}
+
+// Snapshot is a point-in-time view of every metric, sorted by name.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+func newSnapshot(acc map[string]*Metric) Snapshot {
+	names := make([]string, 0, len(acc))
+	for n := range acc {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := Snapshot{Metrics: make([]Metric, 0, len(names))}
+	for _, n := range names {
+		s.Metrics = append(s.Metrics, *acc[n])
+	}
+	return s
+}
+
+// Get returns the named metric and whether it exists.
+func (s Snapshot) Get(name string) (Metric, bool) {
+	i := sort.Search(len(s.Metrics), func(i int) bool { return s.Metrics[i].Name >= name })
+	if i < len(s.Metrics) && s.Metrics[i].Name == name {
+		return s.Metrics[i], true
+	}
+	return Metric{}, false
+}
+
+// Total returns the cluster-wide total of the named metric (0 if absent).
+func (s Snapshot) Total(name string) int64 {
+	m, ok := s.Get(name)
+	if !ok {
+		return 0
+	}
+	return m.Total()
+}
+
+// Delta returns s minus prev: counters and histograms subtract, gauges
+// keep their current value. Metrics only present in prev are dropped.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{Metrics: make([]Metric, 0, len(s.Metrics))}
+	for _, m := range s.Metrics {
+		d := m.clone()
+		if p, ok := prev.Get(m.Name); ok && m.Kind != KindGauge {
+			for i, v := range p.PerNode {
+				if i < len(d.PerNode) {
+					d.PerNode[i] -= v
+				}
+			}
+			if d.Hist != nil && p.Hist != nil {
+				d.Hist.Count -= p.Hist.Count
+				d.Hist.Sum -= p.Hist.Sum
+				if p.Hist.Buckets != nil {
+					d.Hist.ensure()
+					for i, n := range p.Hist.Buckets {
+						d.Hist.Buckets[i] -= n
+					}
+				}
+			}
+		}
+		out.Metrics = append(out.Metrics, d)
+	}
+	return out
+}
+
+// NonZero returns a copy of s without all-zero metrics (empty deltas).
+func (s Snapshot) NonZero() Snapshot {
+	out := Snapshot{}
+	for _, m := range s.Metrics {
+		if m.Total() != 0 || (m.Hist != nil && m.Hist.Count != 0) {
+			out.Metrics = append(out.Metrics, m)
+		}
+	}
+	return out
+}
+
+// maxReportNodes caps the per-node columns printed by Report; wider
+// clusters still show totals (the JSON view always has every node).
+const maxReportNodes = 8
+
+// Report renders the snapshot as an aligned text table: one row per
+// metric with the cluster-wide total and per-node values.
+func (s Snapshot) Report() string {
+	var b strings.Builder
+	nodes := 0
+	nameW := len("metric")
+	for _, m := range s.Metrics {
+		if len(m.PerNode) > nodes {
+			nodes = len(m.PerNode)
+		}
+		if len(m.Name) > nameW {
+			nameW = len(m.Name)
+		}
+	}
+	fmt.Fprintf(&b, "== telemetry (%d nodes)\n", nodes)
+	fmt.Fprintf(&b, "%-*s %12s", nameW, "metric", "total")
+	for v := 0; v < nodes && v < maxReportNodes; v++ {
+		fmt.Fprintf(&b, "%10s", fmt.Sprintf("n%d", v))
+	}
+	b.WriteByte('\n')
+	for _, m := range s.Metrics {
+		if m.Kind == KindHistogram {
+			fmt.Fprintf(&b, "%-*s %s\n", nameW, m.Name, histLine(m.Hist))
+			continue
+		}
+		fmt.Fprintf(&b, "%-*s %12d", nameW, m.Name, m.Total())
+		for v := 0; v < nodes && v < maxReportNodes; v++ {
+			if v < len(m.PerNode) {
+				fmt.Fprintf(&b, "%10d", m.PerNode[v])
+			} else {
+				fmt.Fprintf(&b, "%10s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// histLine renders a histogram as count/sum/mean plus its nonzero
+// power-of-two buckets, e.g. "count=12 sum=49664 mean=4138.7 [<4096:9 <8192:3]".
+func histLine(h *HistData) string {
+	if h == nil {
+		return "count=0"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "count=%d sum=%d mean=%.1f", h.Count, h.Sum, h.Mean())
+	if h.Buckets == nil {
+		return b.String()
+	}
+	b.WriteString(" [")
+	first := true
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "<%d:%d", BucketBound(i), n)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() string {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Sprintf(`{"error":%q}`, err.Error())
+	}
+	return string(out)
+}

@@ -1,0 +1,323 @@
+// Package telemetry is the cluster-wide metrics subsystem: race-safe
+// counter/gauge/histogram primitives, a named registry with per-node
+// instances, point-in-time snapshots with delta views, and rendering as
+// aligned text or JSON (see snapshot.go) plus expvar/HTTP exposition
+// (see expvar.go).
+//
+// Design constraints, in order:
+//
+//  1. Disabled-path cost. Collection is gated by one registry-wide
+//     atomic bool. Instrumented fast paths guard with Enabled() — a
+//     single atomic load, no locks, no map lookups — so the lock-free
+//     access paths the paper fights for (§4.1, §4.3) stay lock-free.
+//  2. Enabled-path cost. Instrumentation sites hold *Counter pointers
+//     resolved once at setup; a bump is one atomic add. Registration
+//     (the only locked path) happens at construction time only.
+//  3. Aggregation across components. Subsystems that keep their own
+//     atomic counters (core's per-array Metrics, fabric's per-endpoint
+//     Counters) contribute through collectors: closures that run at
+//     snapshot time and emit Metric values. Removing a collector folds
+//     its final values into a retained store, so totals stay monotonic
+//     across short-lived clusters (the benchmark harness builds and
+//     tears down one cluster per data point while sharing one registry).
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// HistBuckets is the fixed bucket count of every Histogram: bucket i
+// holds observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i),
+// with v <= 0 in bucket 0 and v >= 2^(HistBuckets-2) in the last.
+const HistBuckets = 32
+
+// Histogram is a lock-free power-of-two-bucket histogram.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [HistBuckets]atomic.Int64
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// BucketBound returns the exclusive upper bound of bucket i (v < bound).
+func BucketBound(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= 63 {
+		return 1<<62 - 1
+	}
+	return 1 << uint(i)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Data returns a point-in-time copy of the histogram.
+func (h *Histogram) Data() *HistData {
+	d := &HistData{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			d.ensure()
+			d.Buckets[i] = n
+		}
+	}
+	return d
+}
+
+// Metric kinds as stable snapshot strings.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+// Emit is the sink a collector writes metrics into.
+type Emit func(m Metric)
+
+// CollectorFunc contributes externally maintained metrics to a snapshot.
+// It must only read (atomics, immutable state) — it runs on whatever
+// goroutine calls Snapshot.
+type CollectorFunc func(emit Emit)
+
+// Collector is the removable handle for a registered CollectorFunc.
+type Collector struct{ fn CollectorFunc }
+
+// family is one named metric across per-node instances.
+type family struct {
+	name     string
+	kind     string
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+}
+
+// Registry is a named metric registry for one cluster (or several
+// short-lived clusters sharing a benchmark sweep).
+type Registry struct {
+	on atomic.Bool
+
+	mu      sync.Mutex
+	fams    map[string]*family
+	order   []string
+	colls   map[*Collector]struct{}
+	retired map[string]*Metric
+}
+
+// New creates an empty, disabled registry.
+func New() *Registry {
+	return &Registry{
+		fams:    make(map[string]*family),
+		colls:   make(map[*Collector]struct{}),
+		retired: make(map[string]*Metric),
+	}
+}
+
+// Enable turns collection on.
+func (r *Registry) Enable() { r.on.Store(true) }
+
+// Disable turns collection off.
+func (r *Registry) Disable() { r.on.Store(false) }
+
+// Enabled reports whether collection is on: one atomic load, safe (and
+// intended) for per-operation fast-path guards.
+func (r *Registry) Enabled() bool { return r.on.Load() }
+
+func (r *Registry) familyLocked(name, kind string) *family {
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, kind: kind}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// Counter returns (registering if needed) the counter `name` for node.
+// Resolution locks; keep it out of hot paths and cache the pointer.
+func (r *Registry) Counter(name string, node int) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, KindCounter)
+	for len(f.counters) <= node {
+		f.counters = append(f.counters, nil)
+	}
+	if f.counters[node] == nil {
+		f.counters[node] = &Counter{}
+	}
+	return f.counters[node]
+}
+
+// Gauge returns (registering if needed) the gauge `name` for node.
+func (r *Registry) Gauge(name string, node int) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, KindGauge)
+	for len(f.gauges) <= node {
+		f.gauges = append(f.gauges, nil)
+	}
+	if f.gauges[node] == nil {
+		f.gauges[node] = &Gauge{}
+	}
+	return f.gauges[node]
+}
+
+// Histogram returns (registering if needed) the histogram `name` for node.
+func (r *Registry) Histogram(name string, node int) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, KindHistogram)
+	for len(f.hists) <= node {
+		f.hists = append(f.hists, nil)
+	}
+	if f.hists[node] == nil {
+		f.hists[node] = &Histogram{}
+	}
+	return f.hists[node]
+}
+
+// AddCollector registers fn to contribute metrics at snapshot time and
+// returns a handle for RemoveCollector.
+func (r *Registry) AddCollector(fn CollectorFunc) *Collector {
+	c := &Collector{fn: fn}
+	r.mu.Lock()
+	r.colls[c] = struct{}{}
+	r.mu.Unlock()
+	return c
+}
+
+// RemoveCollector unregisters c, folding its final counter and histogram
+// values into the registry's retained store so cluster-wide totals stay
+// monotonic after the component behind c is torn down. Gauges are
+// dropped (a gauge of a dead component is meaningless).
+func (r *Registry) RemoveCollector(c *Collector) {
+	if c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.colls[c]; !ok {
+		return
+	}
+	delete(r.colls, c)
+	c.fn(func(m Metric) {
+		if m.Kind == KindGauge {
+			return
+		}
+		mergeMetric(r.retired, m)
+	})
+}
+
+// Snapshot captures every registered metric, retained value, and
+// collector contribution, merged by name (per-node values element-wise).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	acc := make(map[string]*Metric)
+	for _, name := range r.order {
+		f := r.fams[name]
+		m := Metric{Name: f.name, Kind: f.kind}
+		switch f.kind {
+		case KindCounter:
+			m.PerNode = make([]int64, len(f.counters))
+			for i, c := range f.counters {
+				if c != nil {
+					m.PerNode[i] = c.Load()
+				}
+			}
+		case KindGauge:
+			m.PerNode = make([]int64, len(f.gauges))
+			for i, g := range f.gauges {
+				if g != nil {
+					m.PerNode[i] = g.Load()
+				}
+			}
+		case KindHistogram:
+			for i, h := range f.hists {
+				if h != nil {
+					hm := Metric{Name: f.name, Kind: f.kind, Hist: h.Data()}
+					hm.PerNode = make([]int64, i+1)
+					hm.PerNode[i] = hm.Hist.Count
+					mergeMetric(acc, hm)
+				}
+			}
+			continue
+		}
+		mergeMetric(acc, m)
+	}
+	for _, m := range r.retired {
+		mergeMetric(acc, m.clone())
+	}
+	for c := range r.colls {
+		c.fn(func(m Metric) { mergeMetric(acc, m) })
+	}
+	return newSnapshot(acc)
+}
+
+// mergeMetric folds m into acc[m.Name], summing per-node values and
+// histogram data.
+func mergeMetric(acc map[string]*Metric, m Metric) {
+	dst, ok := acc[m.Name]
+	if !ok {
+		c := m.clone()
+		acc[m.Name] = &c
+		return
+	}
+	for len(dst.PerNode) < len(m.PerNode) {
+		dst.PerNode = append(dst.PerNode, 0)
+	}
+	for i, v := range m.PerNode {
+		dst.PerNode[i] += v
+	}
+	if m.Hist != nil {
+		if dst.Hist == nil {
+			dst.Hist = &HistData{}
+		}
+		dst.Hist.merge(m.Hist)
+	}
+}

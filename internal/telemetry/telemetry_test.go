@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Errorf("counter = %d, want 5", c.Load())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Load() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Load())
+	}
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 64, 100, 1 << 40} {
+		h.Observe(v)
+	}
+	d := h.Data()
+	if d.Count != 7 {
+		t.Errorf("hist count = %d, want 7", d.Count)
+	}
+	if d.Sum != 0+1+2+3+64+100+1<<40 {
+		t.Errorf("hist sum = %d", d.Sum)
+	}
+	// v=0 -> bucket 0; v=1 -> bucket 1; v=2,3 -> bucket 2; 64,100 -> bucket 7.
+	if d.Buckets[0] != 1 || d.Buckets[1] != 1 || d.Buckets[2] != 2 || d.Buckets[7] != 2 {
+		t.Errorf("buckets = %v", d.Buckets)
+	}
+	if d.Buckets[HistBuckets-1] != 1 {
+		t.Errorf("overflow bucket = %d, want 1", d.Buckets[HistBuckets-1])
+	}
+}
+
+func TestRegistryNamesAndPerNode(t *testing.T) {
+	r := New()
+	if r.Enabled() {
+		t.Fatal("registry should start disabled")
+	}
+	r.Enable()
+	c0 := r.Counter("core/hits", 0)
+	c2 := r.Counter("core/hits", 2)
+	if r.Counter("core/hits", 0) != c0 {
+		t.Error("re-registration returned a different counter")
+	}
+	c0.Add(10)
+	c2.Add(5)
+	r.Gauge("core/free", 1).Set(42)
+	r.Histogram("fabric/bytes", 0).Observe(100)
+
+	s := r.Snapshot()
+	if got := s.Total("core/hits"); got != 15 {
+		t.Errorf("total core/hits = %d, want 15", got)
+	}
+	m, ok := s.Get("core/hits")
+	if !ok || len(m.PerNode) != 3 || m.PerNode[0] != 10 || m.PerNode[1] != 0 || m.PerNode[2] != 5 {
+		t.Errorf("per-node = %+v", m)
+	}
+	if got := s.Total("core/free"); got != 42 {
+		t.Errorf("gauge total = %d, want 42", got)
+	}
+	hm, ok := s.Get("fabric/bytes")
+	if !ok || hm.Hist == nil || hm.Hist.Count != 1 || hm.Hist.Sum != 100 {
+		t.Errorf("hist metric = %+v", hm)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind conflict")
+		}
+	}()
+	r := New()
+	r.Counter("x", 0)
+	r.Gauge("x", 0)
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := New()
+	c := r.Counter("ops", 0)
+	g := r.Gauge("depth", 0)
+	h := r.Histogram("lat", 0)
+	c.Add(10)
+	g.Set(3)
+	h.Observe(8)
+	before := r.Snapshot()
+	c.Add(7)
+	g.Set(9)
+	h.Observe(16)
+	d := r.Snapshot().Delta(before)
+	if got := d.Total("ops"); got != 7 {
+		t.Errorf("delta ops = %d, want 7", got)
+	}
+	if got := d.Total("depth"); got != 9 {
+		t.Errorf("delta gauge = %d, want current value 9", got)
+	}
+	m, _ := d.Get("lat")
+	if m.Hist == nil || m.Hist.Count != 1 || m.Hist.Sum != 16 {
+		t.Errorf("delta hist = %+v", m.Hist)
+	}
+}
+
+func TestNonZeroFiltersEmptyDeltas(t *testing.T) {
+	r := New()
+	r.Counter("a", 0).Add(5)
+	r.Counter("b", 0)
+	s := r.Snapshot().NonZero()
+	if len(s.Metrics) != 1 || s.Metrics[0].Name != "a" {
+		t.Errorf("NonZero = %+v", s.Metrics)
+	}
+}
+
+func TestCollectorAndRetire(t *testing.T) {
+	r := New()
+	var ext Counter
+	ext.Add(11)
+	coll := r.AddCollector(func(emit Emit) {
+		emit(Metric{Name: "ext/ops", Kind: KindCounter, PerNode: []int64{ext.Load()}})
+		emit(Metric{Name: "ext/depth", Kind: KindGauge, PerNode: []int64{4}})
+	})
+	if got := r.Snapshot().Total("ext/ops"); got != 11 {
+		t.Errorf("collector total = %d, want 11", got)
+	}
+	r.RemoveCollector(coll)
+	ext.Add(100) // must not be visible: collector folded at removal
+	s := r.Snapshot()
+	if got := s.Total("ext/ops"); got != 11 {
+		t.Errorf("retired total = %d, want 11", got)
+	}
+	if _, ok := s.Get("ext/depth"); ok {
+		t.Error("retired gauge should be dropped")
+	}
+	r.RemoveCollector(coll) // double-remove is a no-op
+	if got := r.Snapshot().Total("ext/ops"); got != 11 {
+		t.Error("double remove double-counted the collector")
+	}
+}
+
+// TestRegistryHammer bumps shared counters from many goroutines while a
+// reader concurrently snapshots; run under -race this is the registry's
+// core safety test.
+func TestRegistryHammer(t *testing.T) {
+	r := New()
+	r.Enable()
+	const goroutines = 8
+	const perG = 5000
+	counters := make([]*Counter, goroutines)
+	for i := range counters {
+		counters[i] = r.Counter("hammer/ops", i%4)
+	}
+	h := r.Histogram("hammer/sizes", 0)
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			if tot := s.Total("hammer/ops"); tot < 0 || tot > goroutines*perG {
+				t.Errorf("snapshot total out of range: %d", tot)
+				return
+			}
+			_ = s.Report()
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < perG; k++ {
+				if r.Enabled() {
+					counters[i].Inc()
+				}
+				h.Observe(int64(k & 1023))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	s := r.Snapshot()
+	if got := s.Total("hammer/ops"); got != goroutines*perG {
+		t.Errorf("final total = %d, want %d", got, goroutines*perG)
+	}
+	m, _ := s.Get("hammer/sizes")
+	if m.Hist.Count != goroutines*perG {
+		t.Errorf("hist count = %d, want %d", m.Hist.Count, goroutines*perG)
+	}
+}
+
+func TestReportAndJSON(t *testing.T) {
+	r := New()
+	r.Counter("core/cache/hits", 0).Add(100)
+	r.Counter("core/cache/hits", 1).Add(50)
+	r.Histogram("fabric/link_bytes/0->1", 0).Observe(4096)
+	s := r.Snapshot()
+
+	rep := s.Report()
+	for _, want := range []string{"core/cache/hits", "150", "100", "50", "count=1", "sum=4096"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+
+	var decoded Snapshot
+	if err := json.Unmarshal([]byte(s.JSON()), &decoded); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if decoded.Total("core/cache/hits") != 150 {
+		t.Errorf("decoded total = %d", decoded.Total("core/cache/hits"))
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := New()
+	r.Counter("x/ops", 0).Add(3)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if s.Total("x/ops") != 3 {
+		t.Errorf("handler JSON total = %d, want 3", s.Total("x/ops"))
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "x/ops") {
+		t.Errorf("text report missing metric: %q", string(body))
+	}
+}
