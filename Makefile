@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench chaos check
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,10 @@ test:
 	$(GO) test ./...
 
 # The concurrency-heavy packages under the race detector: the coherence
-# protocol, the telemetry registry, and the layers between them.
+# protocol, the telemetry registry, the fault-injected fabric, and the
+# layers between them.
 race:
-	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/cluster/... ./internal/fabric/...
+	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/cluster/... ./internal/fabric/... ./internal/fault/... ./internal/chaos/...
 
 vet:
 	$(GO) vet ./...
@@ -19,4 +20,9 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-check: build vet test race
+# Short seeded chaos smoke: every workload (microbench, PageRank, CC,
+# KVS YCSB-B) must survive the default fault schedule bit-identically.
+chaos:
+	$(GO) test -run 'TestChaos' -count=1 ./internal/chaos/
+
+check: build vet test race chaos

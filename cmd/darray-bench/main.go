@@ -21,9 +21,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"darray/internal/bench"
+	"darray/internal/chaos"
+	"darray/internal/fault"
 	"darray/internal/telemetry"
 )
 
@@ -44,6 +47,8 @@ func main() {
 		metrics    = flag.Bool("metrics", false, "collect telemetry; print per-experiment deltas and a final cluster-wide report")
 		metricsFmt = flag.String("metrics-format", "text", "final report format: text or json")
 		metricAddr = flag.String("metrics-addr", "", "serve live metrics (expvar, /debug/metrics, pprof) on this address; implies -metrics")
+		chaosOn    = flag.Bool("chaos", false, "inject seeded fabric faults under every experiment (drops, dups, spikes, a partition window, a stalled node)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "fault plan seed for -chaos; the same seed replays the same plan")
 	)
 	flag.Parse()
 
@@ -86,6 +91,20 @@ func main() {
 			fmt.Printf("serving metrics on %s (/debug/metrics, /debug/vars, /debug/pprof)\n", *metricAddr)
 		}
 	}
+	var (
+		chaosMu    sync.Mutex
+		chaosPlans []*fault.Plan
+	)
+	if *chaosOn {
+		p.Faults = func(nodes int) *fault.Plan {
+			plan := fault.New(chaos.DefaultFaults(*chaosSeed, nodes))
+			chaosMu.Lock()
+			chaosPlans = append(chaosPlans, plan)
+			chaosMu.Unlock()
+			return plan
+		}
+		fmt.Printf("chaos: fault injection on, seed=%d (replay with -chaos-seed %d)\n", *chaosSeed, *chaosSeed)
+	}
 	bench.PrintModel(os.Stdout, p)
 	fmt.Println()
 
@@ -119,6 +138,16 @@ func main() {
 		} else {
 			fmt.Printf("# cumulative metrics (all experiments)\n%s", snap.Report())
 		}
+	}
+	if *chaosOn {
+		var total fault.Stats
+		chaosMu.Lock()
+		for _, plan := range chaosPlans {
+			total = total.Merge(plan.Stats())
+		}
+		n := len(chaosPlans)
+		chaosMu.Unlock()
+		fmt.Printf("chaos: seed=%d clusters=%d %s\n", *chaosSeed, n, total)
 	}
 }
 

@@ -13,24 +13,29 @@ import (
 	"os"
 	"time"
 
+	"darray/internal/chaos"
 	"darray/internal/cluster"
 	"darray/internal/core"
 	"darray/internal/engine"
+	"darray/internal/fault"
 	"darray/internal/gemini"
 	"darray/internal/graph"
+	"darray/internal/vtime"
 )
 
 func main() {
 	var (
-		app     = flag.String("app", "pagerank", "pagerank | cc | bfs | sssp")
-		eng     = flag.String("engine", "darray", "darray | darray-pin | gemini")
-		input   = flag.String("input", "", "edge-list file (default: generate R-MAT)")
-		scale   = flag.Int("scale", 12, "R-MAT scale when generating")
-		nodes   = flag.Int("nodes", 4, "simulated cluster nodes")
-		threads = flag.Int("threads", 1, "application threads per node (darray engine)")
-		iters   = flag.Int("iters", 10, "PageRank iterations")
-		root    = flag.Int64("root", 0, "BFS/SSSP source vertex")
-		metrics = flag.Bool("metrics", false, "print the cluster telemetry report after the run")
+		app       = flag.String("app", "pagerank", "pagerank | cc | bfs | sssp")
+		eng       = flag.String("engine", "darray", "darray | darray-pin | gemini")
+		input     = flag.String("input", "", "edge-list file (default: generate R-MAT)")
+		scale     = flag.Int("scale", 12, "R-MAT scale when generating")
+		nodes     = flag.Int("nodes", 4, "simulated cluster nodes")
+		threads   = flag.Int("threads", 1, "application threads per node (darray engine)")
+		iters     = flag.Int("iters", 10, "PageRank iterations")
+		root      = flag.Int64("root", 0, "BFS/SSSP source vertex")
+		metrics   = flag.Bool("metrics", false, "print the cluster telemetry report after the run")
+		chaosOn   = flag.Bool("chaos", false, "inject seeded fabric faults (enables the virtual-time model: fault windows are vtime-keyed)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "fault plan seed for -chaos")
 	)
 	flag.Parse()
 
@@ -38,11 +43,19 @@ func main() {
 	fmt.Printf("graph: %d vertices, %d edges | engine=%s app=%s nodes=%d threads=%d\n",
 		g.N, g.Edges(), *eng, *app, *nodes, *threads)
 
-	c := cluster.New(cluster.Config{
+	cfg := cluster.Config{
 		Nodes:       *nodes,
 		Metrics:     *metrics,
 		MsgKindName: core.KindName,
-	})
+	}
+	var plan *fault.Plan
+	if *chaosOn {
+		plan = fault.New(chaos.DefaultFaults(*chaosSeed, *nodes))
+		cfg.Faults = plan
+		cfg.Model = vtime.Default()
+		fmt.Printf("chaos: fault injection on, seed=%d\n", *chaosSeed)
+	}
+	c := cluster.New(cfg)
 	defer c.Close()
 
 	start := time.Now()
@@ -61,6 +74,13 @@ func main() {
 	fmt.Printf("%s\nwall time: %v\n", <-summary, time.Since(start).Round(time.Millisecond))
 	if *metrics {
 		fmt.Print(c.MetricsReport())
+	}
+	if plan != nil {
+		fmt.Printf("chaos: seed=%d %s\n", *chaosSeed, plan.Stats())
+		if err := c.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: cluster degraded (seed=%d): %v\n", *chaosSeed, err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -14,33 +14,46 @@ import (
 	"sync"
 	"time"
 
+	"darray/internal/chaos"
 	"darray/internal/cluster"
 	"darray/internal/core"
+	"darray/internal/fault"
 	"darray/internal/gamkvs"
 	"darray/internal/kvs"
 	"darray/internal/stats"
+	"darray/internal/vtime"
 	"darray/internal/ycsb"
 )
 
 func main() {
 	var (
-		nodes    = flag.Int("nodes", 3, "simulated cluster nodes")
-		threads  = flag.Int("threads", 2, "application threads per node")
-		records  = flag.Int64("records", 50000, "distinct keys")
-		ops      = flag.Int("ops", 20000, "operations per thread")
-		getRatio = flag.Float64("get-ratio", 0.95, "fraction of gets")
-		theta    = flag.Float64("theta", 0.99, "zipfian skew")
-		backend  = flag.String("backend", "darray", "darray or gam")
-		valueLen = flag.Int("value-len", 100, "value size in bytes")
-		metrics  = flag.Bool("metrics", false, "print the cluster telemetry report after the run")
+		nodes     = flag.Int("nodes", 3, "simulated cluster nodes")
+		threads   = flag.Int("threads", 2, "application threads per node")
+		records   = flag.Int64("records", 50000, "distinct keys")
+		ops       = flag.Int("ops", 20000, "operations per thread")
+		getRatio  = flag.Float64("get-ratio", 0.95, "fraction of gets")
+		theta     = flag.Float64("theta", 0.99, "zipfian skew")
+		backend   = flag.String("backend", "darray", "darray or gam")
+		valueLen  = flag.Int("value-len", 100, "value size in bytes")
+		metrics   = flag.Bool("metrics", false, "print the cluster telemetry report after the run")
+		chaosOn   = flag.Bool("chaos", false, "inject seeded fabric faults (enables the virtual-time model: fault windows are vtime-keyed)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "fault plan seed for -chaos")
 	)
 	flag.Parse()
 
-	c := cluster.New(cluster.Config{
+	clcfg := cluster.Config{
 		Nodes:       *nodes,
 		Metrics:     *metrics,
 		MsgKindName: core.KindName,
-	})
+	}
+	var plan *fault.Plan
+	if *chaosOn {
+		plan = fault.New(chaos.DefaultFaults(*chaosSeed, *nodes))
+		clcfg.Faults = plan
+		clcfg.Model = vtime.Default()
+		fmt.Printf("chaos: fault injection on, seed=%d\n", *chaosSeed)
+	}
+	c := cluster.New(clcfg)
 	defer c.Close()
 
 	cfg := kvs.Config{
@@ -126,5 +139,12 @@ func main() {
 		time.Duration(lat.Max()))
 	if *metrics {
 		fmt.Print(c.MetricsReport())
+	}
+	if plan != nil {
+		fmt.Printf("chaos: seed=%d %s\n", *chaosSeed, plan.Stats())
+		if err := c.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: cluster degraded (seed=%d): %v\n", *chaosSeed, err)
+			os.Exit(1)
+		}
 	}
 }

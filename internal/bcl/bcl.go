@@ -111,7 +111,12 @@ func (a *Array) Get(ctx *cluster.Ctx, i int64) uint64 {
 		return atomic.LoadUint64(&a.local[off])
 	}
 	ctx.Stats.Remote++
-	return a.ep.ReadWord(&ctx.Clock, home, a.sh.id, off)
+	v, err := a.ep.ReadWord(&ctx.Clock, home, a.sh.id, off)
+	if err != nil {
+		ctx.Fail(err)
+		return 0
+	}
+	return v
 }
 
 // Set writes element i: a direct store locally, a one-sided WRITE
@@ -127,7 +132,9 @@ func (a *Array) Set(ctx *cluster.Ctx, i int64, v uint64) {
 		return
 	}
 	ctx.Stats.Remote++
-	a.ep.WriteWord(&ctx.Clock, home, a.sh.id, off, v)
+	if err := a.ep.WriteWord(&ctx.Clock, home, a.sh.id, off, v); err != nil {
+		ctx.Fail(err)
+	}
 }
 
 // FetchAdd atomically adds v to element i using remote atomics (one CAS
@@ -142,8 +149,17 @@ func (a *Array) FetchAdd(ctx *cluster.Ctx, i int64, v uint64) uint64 {
 		return atomic.AddUint64(&a.local[off], v) - v
 	}
 	for {
-		old := a.ep.ReadWord(&ctx.Clock, home, a.sh.id, off)
-		if a.ep.CompareAndSwap(&ctx.Clock, home, a.sh.id, off, old, old+v) {
+		old, err := a.ep.ReadWord(&ctx.Clock, home, a.sh.id, off)
+		if err != nil {
+			ctx.Fail(err)
+			return 0
+		}
+		ok, err := a.ep.CompareAndSwap(&ctx.Clock, home, a.sh.id, off, old, old+v)
+		if err != nil {
+			ctx.Fail(err)
+			return 0
+		}
+		if ok {
 			ctx.Stats.Remote++
 			return old
 		}
@@ -167,7 +183,10 @@ func (a *Array) GetBulk(ctx *cluster.Ctx, i int64, dst []uint64) {
 			}
 			a.chargeLocal(ctx)
 		} else {
-			a.ep.ReadWords(&ctx.Clock, home, a.sh.id, off, dst[:n])
+			if err := a.ep.ReadWords(&ctx.Clock, home, a.sh.id, off, dst[:n]); err != nil {
+				ctx.Fail(err)
+				return
+			}
 			ctx.Stats.Remote++
 		}
 		ctx.Stats.Ops++

@@ -60,6 +60,9 @@ func seqReadWith(p Params, mutate func(*cluster.Config)) float64 {
 	}
 	cfg := cluster.Config{Nodes: nodes, Model: p.Model, CacheChunks: int(chunksPerRT),
 		Telemetry: p.Telemetry, MsgKindName: core.KindName}
+	if p.Faults != nil {
+		cfg.Faults = p.Faults(nodes)
+	}
 	mutate(&cfg)
 	c := cluster.New(cfg)
 	defer c.Close()

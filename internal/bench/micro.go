@@ -6,6 +6,7 @@ import (
 	"darray/internal/bcl"
 	"darray/internal/cluster"
 	"darray/internal/core"
+	"darray/internal/fault"
 	"darray/internal/gam"
 	"darray/internal/stats"
 	"darray/internal/telemetry"
@@ -32,6 +33,12 @@ type Params struct {
 	// per-experiment deltas survive the (short-lived) clusters that
 	// produced them.
 	Telemetry *telemetry.Registry
+
+	// Faults, when non-nil, supplies a fresh fault plan for each cluster
+	// an experiment builds (the -chaos flag wires this up). A fresh plan
+	// per cluster keeps targeted Nth-message rules and fault logs scoped
+	// to one cluster's lifetime.
+	Faults func(nodes int) *fault.Plan
 }
 
 // DefaultParams returns container-friendly sizes.
@@ -57,12 +64,17 @@ func (p Params) cluster(nodes int) *cluster.Cluster {
 	if perRT < 32 {
 		perRT = 32
 	}
+	var plan *fault.Plan
+	if p.Faults != nil {
+		plan = p.Faults(nodes)
+	}
 	return cluster.New(cluster.Config{
 		Nodes:       nodes,
 		Model:       p.Model,
 		CacheChunks: int(perRT),
 		Telemetry:   p.Telemetry,
 		MsgKindName: core.KindName,
+		Faults:      plan,
 	})
 }
 

@@ -1,0 +1,96 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"darray/internal/chaos"
+	"darray/internal/fabric"
+	"darray/internal/fault"
+	"darray/internal/vtime"
+)
+
+// The acceptance bar from the issue: each workload must produce results
+// identical to its fault-free run under >=1% drop plus a two-node
+// partition window, with the coherence invariants clean and zero
+// goroutine leaks. chaos.Run checks all of that; the tests here pick
+// the workloads and assert the schedule actually fired.
+
+func runChaos(t *testing.T, w chaos.Workload, cfg chaos.Config) *chaos.Outcome {
+	t.Helper()
+	out, err := chaos.Run(w, cfg)
+	if err != nil {
+		t.Fatal(err) // chaos errors embed the seed and fault log
+	}
+	if out.FaultStats.Drops == 0 {
+		t.Fatalf("seed %d: no drops injected: %+v", out.Seed, out.FaultStats)
+	}
+	t.Logf("seed %d fp=%016x faults: %s", out.Seed, out.Fingerprint, out.FaultStats)
+	return out
+}
+
+func TestChaosMicrobench(t *testing.T) {
+	for _, seed := range []int64{42, 1337} {
+		out := runChaos(t, chaos.Microbench(2048, 300), chaos.Config{Seed: seed, Threads: 2})
+		if out.FaultStats.PartitionBlocks == 0 {
+			t.Errorf("seed %d: the partition window never fired: %+v", seed, out.FaultStats)
+		}
+	}
+}
+
+func TestChaosPageRank(t *testing.T) {
+	// Small chunks so the 256 vertices spread across all four nodes and
+	// scatter traffic actually crosses the faulty links.
+	runChaos(t, chaos.PageRank(8, 3), chaos.Config{Seed: 42, ChunkWords: 32})
+}
+
+func TestChaosConnectedComponents(t *testing.T) {
+	runChaos(t, chaos.ConnectedComponents(8), chaos.Config{Seed: 42, ChunkWords: 32})
+}
+
+func TestChaosKVS(t *testing.T) {
+	runChaos(t, chaos.KVS(256, 150), chaos.Config{Seed: 42, Threads: 2})
+}
+
+// DefaultFaults must satisfy the acceptance bar by construction.
+func TestChaosDefaultFaultsMeetBar(t *testing.T) {
+	cfg := chaos.DefaultFaults(7, 4)
+	if cfg.DropProb < 0.01 {
+		t.Fatalf("default drop probability %g below the 1%% bar", cfg.DropProb)
+	}
+	if len(cfg.Partitions) == 0 {
+		t.Fatal("default schedule has no partition window")
+	}
+	if cfg.Seed != 7 {
+		t.Fatalf("seed not propagated: %d", cfg.Seed)
+	}
+}
+
+// Reproducibility satellite: the same -chaos-seed must yield a
+// byte-identical fault log. Concurrent workloads perturb per-link
+// message sequences, so the contract is stated over a deterministic
+// traversal sequence: scripted single-goroutine fabric traffic.
+func TestChaosSeedReproducibility(t *testing.T) {
+	script := func(seed int64) string {
+		plan := fault.New(chaos.DefaultFaults(seed, 4))
+		f := fabric.New(fabric.Config{Nodes: 4, Model: vtime.Default(), Faults: plan})
+		defer f.Close()
+		vt := int64(0)
+		for i := 0; i < 400; i++ {
+			from, to := i%4, (i+1+i/4)%4
+			if from == to {
+				continue
+			}
+			vt += 2_000 // march through the partition and stall windows
+			ep := f.Endpoint(from)
+			ep.Post(&fabric.Message{To: to, Kind: uint8(i % 7), VT: vt})
+		}
+		return plan.Log()
+	}
+	a, b := script(99), script(99)
+	if a != b {
+		t.Fatalf("seed 99: fault logs differ between identical runs:\n--- run 1:\n%s\n--- run 2:\n%s", a, b)
+	}
+	if c := script(100); c == a {
+		t.Fatal("different seeds produced identical fault logs")
+	}
+}

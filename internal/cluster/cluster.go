@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"darray/internal/fabric"
+	"darray/internal/fault"
 	"darray/internal/telemetry"
 	"darray/internal/vtime"
 )
@@ -28,6 +29,7 @@ type Config struct {
 	Nodes          int
 	RuntimeThreads int          // runtime goroutines per node (default 2)
 	Model          *vtime.Model // nil disables virtual-time accounting
+	Faults         *fault.Plan  // nil means a perfect fabric (chaos testing injects one)
 
 	// Cache geometry defaults used by systems built on the cluster.
 	ChunkWords    int     // elements (8-byte words) per chunk; default 512
@@ -94,6 +96,13 @@ type Cluster struct {
 	telMu      sync.Mutex
 	telHandles []*telemetry.Collector
 
+	// First fatal fabric error (e.g. retry budget exhausted on an async
+	// send). failCh closes once so every blocked WaitResp unblocks and
+	// applications degrade instead of deadlocking.
+	failOnce sync.Once
+	failErr  error
+	failCh   chan struct{}
+
 	closeOnce sync.Once
 }
 
@@ -103,9 +112,10 @@ func New(cfg Config) *Cluster {
 	cfg.fill()
 	c := &Cluster{
 		cfg:     cfg,
-		fab:     fabric.New(fabric.Config{Nodes: cfg.Nodes, Model: cfg.Model}),
+		fab:     fabric.New(fabric.Config{Nodes: cfg.Nodes, Model: cfg.Model, Faults: cfg.Faults}),
 		collSeq: make(map[uint64]*collSlot),
 		tel:     cfg.Telemetry,
+		failCh:  make(chan struct{}),
 	}
 	if c.tel == nil {
 		c.tel = telemetry.New()
@@ -139,6 +149,29 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
 // Fabric exposes the underlying fabric (for stats and baselines).
 func (c *Cluster) Fabric() *fabric.Fabric { return c.fab }
+
+// fail records the first fatal fabric error and unblocks every waiter.
+func (c *Cluster) fail(err error) {
+	c.failOnce.Do(func() {
+		c.failErr = err
+		close(c.failCh)
+	})
+}
+
+// Err returns the first fatal fabric error, or nil while the cluster is
+// healthy. Once non-nil the cluster is degraded: outstanding and future
+// slow-path waits complete with this error instead of blocking.
+func (c *Cluster) Err() error {
+	select {
+	case <-c.failCh:
+		return c.failErr
+	default:
+		return nil
+	}
+}
+
+// Failed reports whether the cluster has hit a fatal fabric error.
+func (c *Cluster) Failed() bool { return c.Err() != nil }
 
 // Run executes fn once per node, SPMD style, and returns when every
 // node's function has returned.
@@ -213,10 +246,13 @@ func (c *Cluster) collectFabric(emit telemetry.Emit) {
 		perNode("fabric/onesided_reads", i, st.Reads.Load())
 		perNode("fabric/onesided_writes", i, st.Writes.Load())
 		perNode("fabric/onesided_cas", i, st.CASs.Load())
-		for k := 0; k < fabric.MaxMsgKinds; k++ {
-			n := st.KindCount(uint8(k))
-			if n == 0 {
-				continue
+		perNode("fabric/retransmits", i, st.Retransmits.Load())
+		perNode("fabric/timeouts", i, st.Timeouts.Load())
+		perNode("fabric/faults_injected", i, st.FaultsInjected.Load())
+		perNode("fabric/dups_suppressed", i, st.DupsSuppressed.Load())
+		kindName := func(k int) string {
+			if k >= fabric.MaxMsgKinds {
+				return "one-sided"
 			}
 			name := ""
 			if c.cfg.MsgKindName != nil {
@@ -225,7 +261,28 @@ func (c *Cluster) collectFabric(emit telemetry.Emit) {
 			if name == "" {
 				name = fmt.Sprintf("kind-%d", k)
 			}
-			perNode("fabric/msgs/"+name, i, n)
+			return name
+		}
+		for k := 0; k < fabric.MaxMsgKinds; k++ {
+			n := st.KindCount(uint8(k))
+			if n == 0 {
+				continue
+			}
+			perNode("fabric/msgs/"+kindName(k), i, n)
+		}
+		for k := 0; k <= fabric.MaxMsgKinds; k++ {
+			h := st.RetryHist(uint8(k)).Data()
+			if h.Count == 0 {
+				continue
+			}
+			per := make([]int64, i+1)
+			per[i] = h.Count
+			emit(telemetry.Metric{
+				Name:    "fabric/retries/" + kindName(k),
+				Kind:    telemetry.KindHistogram,
+				PerNode: per,
+				Hist:    h,
+			})
 		}
 		for j := 0; j < c.cfg.Nodes; j++ {
 			h := c.fab.Endpoint(i).LinkBytes(j).Data()
@@ -370,6 +427,7 @@ type Ctx struct {
 	Stats Stats
 
 	resp chan Resp // reusable completion channel for slow-path waits
+	err  error     // first completion error observed by this thread
 }
 
 // Resp is the completion record a runtime goroutine sends back to a
@@ -383,11 +441,46 @@ type Resp struct {
 
 // WaitResp blocks until the thread's outstanding slow-path request
 // completes. A Ctx may have at most one outstanding request.
-func (ctx *Ctx) WaitResp() Resp { return <-ctx.resp }
+//
+// If the cluster hits a fatal fabric error (a message the retransmission
+// budget could not deliver) the completion may never arrive; WaitResp
+// then returns a Resp carrying the cluster error so the thread degrades
+// instead of deadlocking.
+func (ctx *Ctx) WaitResp() Resp {
+	select {
+	case r := <-ctx.resp:
+		if r.Err != nil {
+			ctx.Fail(r.Err)
+		}
+		return r
+	case <-ctx.Node.c.failCh:
+		err := ctx.Node.c.failErr
+		ctx.Fail(err)
+		return Resp{Err: err}
+	}
+}
 
 // Complete delivers the completion for ctx's outstanding request; called
 // by runtime goroutines.
 func (ctx *Ctx) Complete(r Resp) { ctx.resp <- r }
+
+// Fail records the first error observed on this thread (completion
+// errors from one-sided verbs or slow-path requests).
+func (ctx *Ctx) Fail(err error) {
+	if ctx.err == nil && err != nil {
+		ctx.err = err
+	}
+}
+
+// Err returns the first error observed on this thread, or the cluster's
+// fatal error if any; nil while healthy. After a non-nil Err the array
+// APIs return zero values rather than blocking.
+func (ctx *Ctx) Err() error {
+	if ctx.err != nil {
+		return ctx.err
+	}
+	return ctx.Node.c.Err()
+}
 
 // Stats counts the events a thread generated; the benchmark harness
 // aggregates these per figure.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -128,7 +129,13 @@ func (n *Node) txLoop() {
 			_, end := txRes.Acquire(m.SendVT, mdl.SendCost())
 			m.SendVT = end
 		}
-		n.ep.Post(m)
+		if err := n.ep.Post(m); err != nil {
+			// The peer stayed unreachable past the retransmission
+			// budget. There is no caller to hand the completion to (the
+			// Tx thread is asynchronous), so mark the whole cluster
+			// failed: every blocked WaitResp unblocks with this error.
+			n.c.fail(fmt.Errorf("node %d tx: %w", n.id, err))
+		}
 	}
 }
 

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"darray/internal/fabric"
+	"darray/internal/vtime"
+)
+
+// Satellite regression: Close must drain and join every Tx/Rx and
+// runtime goroutine. Opening and closing 50 clusters has to bring the
+// process back to its goroutine baseline — a single leaked loop per
+// cluster would show up 50-fold.
+func TestNoGoroutineLeakAcross50Clusters(t *testing.T) {
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		c := New(Config{Nodes: 3, RuntimeThreads: 2, Model: vtime.Default()})
+		// Exercise all three goroutine families: app threads send a
+		// message through Tx, Rx routes it to a runtime.
+		c.Node(0).RegisterRoute(1, Route{
+			RuntimeOf: func(m *fabric.Message) int { return 0 },
+			Handle:    func(rt *Runtime, m *fabric.Message) {},
+		})
+		c.Run(func(n *Node) {
+			ctx := n.NewCtx(0)
+			c.Barrier(ctx)
+			if n.ID() == 1 {
+				n.Send(&fabric.Message{To: 0, Array: 1})
+			}
+			c.Barrier(ctx)
+		})
+		c.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Close is idempotent and joins deterministically even when messages are
+// still queued at shutdown.
+func TestCloseWithQueuedTraffic(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	c.Node(1).RegisterRoute(1, Route{
+		RuntimeOf: func(m *fabric.Message) int { return 0 },
+		Handle:    func(rt *Runtime, m *fabric.Message) {},
+	})
+	for i := 0; i < 100; i++ {
+		c.Node(0).Send(&fabric.Message{To: 1, Array: 1})
+	}
+	c.Close()
+	c.Close()
+}

@@ -39,7 +39,9 @@ func (a *Array) Get(ctx *cluster.Ctx, i int64) uint64 {
 			return v
 		}
 		d.refcnt.Add(-1)
-		a.slowPath(ctx, d, ci, wantRead, 0)
+		if !a.slowPath(ctx, d, ci, wantRead, 0) {
+			return 0 // cluster failed; see ctx.Err
+		}
 	}
 }
 
@@ -74,7 +76,9 @@ func (a *Array) Set(ctx *cluster.Ctx, i int64, v uint64) {
 			return
 		}
 		d.refcnt.Add(-1)
-		a.slowPath(ctx, d, ci, wantWrite, 0)
+		if !a.slowPath(ctx, d, ci, wantWrite, 0) {
+			return // cluster failed; see ctx.Err
+		}
 	}
 }
 
@@ -121,14 +125,23 @@ func (a *Array) Apply(ctx *cluster.Ctx, op OpID, i int64, operand uint64) {
 			return
 		}
 		d.refcnt.Add(-1)
-		a.slowPath(ctx, d, ci, wantOperate, op)
+		if !a.slowPath(ctx, d, ci, wantOperate, op) {
+			return // cluster failed; see ctx.Err
+		}
 	}
 }
 
 // slowPath submits a request to the runtime owning chunk ci and blocks
 // until the runtime reports a state change, then the caller retries its
 // fast path. The response carries the virtual completion time.
-func (a *Array) slowPath(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, op OpID) {
+//
+// Returns false when the request completed with an error (the fabric
+// gave up on a peer): the caller must abandon the operation and return a
+// zero value instead of retrying — the error is recorded on ctx.
+func (a *Array) slowPath(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, op OpID) bool {
+	if ctx.Err() != nil {
+		return false
+	}
 	ctx.Stats.Misses++
 	if a.telOn() {
 		a.Metrics.Misses.Add(1)
@@ -143,5 +156,9 @@ func (a *Array) slowPath(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, op O
 		a.handleLocal(rt, d, ci, w)
 	})
 	resp := ctx.WaitResp()
+	if resp.Err != nil {
+		return false
+	}
 	ctx.Clock.AdvanceTo(resp.VT)
+	return true
 }

@@ -33,6 +33,9 @@ func (a *Array) RLock(ctx *cluster.Ctx, i int64) { a.lock(ctx, i, false) }
 func (a *Array) WLock(ctx *cluster.Ctx, i int64) { a.lock(ctx, i, true) }
 
 func (a *Array) lock(ctx *cluster.Ctx, i int64, writer bool) {
+	if ctx.Err() != nil {
+		return // degraded: the lock is not acquired
+	}
 	ci, _ := a.locate(i)
 	ctx.Stats.LockOps++
 	ctx.Stats.Ops++
@@ -57,6 +60,9 @@ func (a *Array) lock(ctx *cluster.Ctx, i int64, writer bool) {
 			flag: writer, vt: svt})
 	})
 	resp := ctx.WaitResp()
+	if resp.Err != nil {
+		return // cluster failed; the lock is not held (see ctx.Err)
+	}
 	ctx.Clock.AdvanceTo(resp.VT)
 }
 
@@ -122,6 +128,12 @@ func (a *Array) unlockRequest(rt *cluster.Runtime, idx int64, vt int64) {
 	s := a.rstate(rt)
 	ls := s.locks[idx]
 	if ls == nil || (!ls.writerHeld && ls.readers == 0) {
+		if a.node.Cluster().Failed() {
+			// Degraded mode: a thread whose lock acquisition died with a
+			// fabric error may still pair it with an Unlock on the way
+			// out. Tolerate the mismatch instead of crashing the report.
+			return
+		}
 		panic("core: unlock of a lock not held")
 	}
 	if ls.writerHeld {

@@ -24,7 +24,8 @@ type Pin struct {
 
 // PinRead pins the chunk containing element i with read permission.
 // While pinned in Shared state the runtime may still serve other nodes'
-// read requests from it.
+// read requests from it. Like all pin variants it returns nil when the
+// cluster has hit a fatal fabric error (see ctx.Err).
 func (a *Array) PinRead(ctx *cluster.Ctx, i int64) *Pin {
 	return a.pin(ctx, i, wantPinRead, 0)
 }
@@ -76,7 +77,11 @@ func (a *Array) pin(ctx *cluster.Ctx, i int64, want uint8, op OpID) *Pin {
 			return mk() // keep the reference: that is the pin
 		}
 		d.refcnt.Add(-1)
-		if a.slowPathPin(ctx, d, ci, want, op) {
+		granted, failed := a.slowPathPin(ctx, d, ci, want, op)
+		if failed {
+			return nil // cluster failed; see ctx.Err
+		}
+		if granted {
 			// The runtime took the reference on our behalf.
 			if a.telOn() {
 				a.Metrics.PinSlow.Add(1)
@@ -88,8 +93,13 @@ func (a *Array) pin(ctx *cluster.Ctx, i int64, want uint8, op OpID) *Pin {
 
 // slowPathPin submits a pin request; on success the runtime increments
 // the refcnt before completing, so no transition can intervene. It
-// reports whether the pin was granted.
-func (a *Array) slowPathPin(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, op OpID) bool {
+// reports whether the pin was granted, and separately whether the
+// request died with a fabric error (recorded on ctx; the caller must
+// give up rather than retry).
+func (a *Array) slowPathPin(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, op OpID) (granted, failed bool) {
+	if ctx.Err() != nil {
+		return false, true
+	}
 	ctx.Stats.Misses++
 	if a.telOn() {
 		a.Metrics.Misses.Add(1)
@@ -103,8 +113,11 @@ func (a *Array) slowPathPin(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, o
 		a.handleLocal(rt, d, ci, w)
 	})
 	resp := ctx.WaitResp()
+	if resp.Err != nil {
+		return false, true
+	}
 	ctx.Clock.AdvanceTo(resp.VT)
-	return resp.Val == 1
+	return resp.Val == 1, false
 }
 
 // First returns the first global index covered by the pin.

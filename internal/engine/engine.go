@@ -27,6 +27,8 @@ type Graph struct {
 	rev    *graph.CSR // transpose, built lazily for undirected traversals
 	bounds []int64
 	lo, hi int64 // local vertex range
+
+	arrays []*core.Array // state arrays created by this handle
 }
 
 // NewGraph collectively wraps csr for the cluster.
@@ -69,8 +71,15 @@ func (eg *Graph) CSR() *graph.CSR { return eg.csr }
 
 func (eg *Graph) newStateArray() *core.Array {
 	starts := eg.bounds[:len(eg.bounds)-1] // per-node start offsets
-	return core.New(eg.node, eg.csr.N, core.Options{PartitionOffset: starts})
+	a := core.New(eg.node, eg.csr.N, core.Options{PartitionOffset: starts})
+	eg.arrays = append(eg.arrays, a)
+	return a
 }
+
+// StateArrays returns the vertex-state arrays this handle has created,
+// so harnesses (chaos testing) can run core.ValidateQuiesced on them
+// after an algorithm completes.
+func (eg *Graph) StateArrays() []*core.Array { return eg.arrays }
 
 const (
 	prDamping = 0.85

@@ -12,17 +12,40 @@
 // wire latency. One-sided verbs block the caller and advance the caller's
 // clock by a full round trip, exactly like a synchronous ibv_post_send +
 // completion poll.
+//
+// When a fault.Plan is configured the wire underneath becomes lossy, and
+// the fabric behaves like an RC (reliable-connection) queue pair above
+// it: per-pair sequence numbers with go-back-N retransmission hide loss
+// from the protocol (charged as virtual-time penalty and counted in
+// Retransmits), duplicates are discarded at the receiver, and only an
+// exhausted retry budget — a peer unreachable longer than the
+// retransmission schedule covers — surfaces as ErrRetryExceeded, exactly
+// the contract a real RNIC gives software. See DESIGN.md "Fault model".
 package fabric
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"darray/internal/fault"
 	"darray/internal/queue"
 	"darray/internal/telemetry"
 	"darray/internal/vtime"
+)
+
+// Completion errors. A real RC queue pair reports these as work
+// completion statuses (IBV_WC_RETRY_EXC_ERR, invalid rkey); callers must
+// treat the QP as broken rather than retry blindly.
+var (
+	// ErrRetryExceeded means the retransmission budget ran out — the
+	// peer was unreachable for longer than the retry schedule covers.
+	ErrRetryExceeded = errors.New("fabric: retry budget exceeded")
+	// ErrMRNotFound means a one-sided verb targeted an unregistered
+	// memory region (the RDMA analogue of an invalid rkey).
+	ErrMRNotFound = errors.New("fabric: memory region not found")
 )
 
 // Message is one two-sided SEND. The payload layout (Kind, Chunk, ...)
@@ -44,6 +67,11 @@ type Message struct {
 	// receiver. Senders set SendVT (their ready time); Post fills VT.
 	VT     int64
 	SendVT int64
+
+	// wireSeq is the per-queue-pair sequence number stamped by Post and
+	// verified by Poll: duplicates are discarded, gaps panic (the RC
+	// layer must never reorder or lose an acknowledged SEND).
+	wireSeq uint32
 }
 
 const msgHeaderBytes = 64 // wire size of a payload-free protocol message
@@ -69,7 +97,28 @@ type Counters struct {
 	Writes atomic.Int64
 	CASs   atomic.Int64
 
+	// RC recovery over the lossy wire (all zero without a fault plan).
+	Retransmits    atomic.Int64 // extra transmissions hidden from the protocol
+	Timeouts       atomic.Int64 // retry budgets exhausted (surfaced as errors)
+	FaultsInjected atomic.Int64 // fault events the plan injected on our sends
+	DupsSuppressed atomic.Int64 // duplicate deliveries discarded at this receiver
+
 	perKind [MaxMsgKinds]atomic.Int64
+
+	// retries[k] is the distribution of transmission attempts per
+	// message of kind k (1 = clean); the last slot covers one-sided
+	// verbs. Only populated when a fault plan is active.
+	retries [MaxMsgKinds + 1]telemetry.Histogram
+}
+
+// RetryHist returns the attempts-per-message histogram for protocol
+// kind k; pass fault.KindOneSided (or any kind >= MaxMsgKinds) for the
+// one-sided verb slot.
+func (c *Counters) RetryHist(k uint8) *telemetry.Histogram {
+	if int(k) >= MaxMsgKinds {
+		return &c.retries[MaxMsgKinds]
+	}
+	return &c.retries[k]
 }
 
 // KindCount returns how many messages of protocol kind k were sent.
@@ -88,6 +137,10 @@ func (c *Counters) Report(namer func(uint8) string) string {
 	fmt.Fprintf(&b, "msgs=%d bytes=%d one-sided: ops=%d (read=%d write=%d cas=%d) bytes=%d",
 		c.MsgsSent.Load(), c.BytesSent.Load(), c.OneSidedOps.Load(),
 		c.Reads.Load(), c.Writes.Load(), c.CASs.Load(), c.OneSidedByte.Load())
+	if rt, to, fi := c.Retransmits.Load(), c.Timeouts.Load(), c.FaultsInjected.Load(); rt|to|fi != 0 {
+		fmt.Fprintf(&b, "\n  faults: injected=%d retransmits=%d timeouts=%d dups_suppressed=%d",
+			fi, rt, to, c.DupsSuppressed.Load())
+	}
 	first := true
 	for k := 0; k < MaxMsgKinds; k++ {
 		n := c.perKind[k].Load()
@@ -112,8 +165,9 @@ func (c *Counters) Report(namer func(uint8) string) string {
 
 // Config describes a fabric instance.
 type Config struct {
-	Nodes int
-	Model *vtime.Model // nil disables virtual-time charging
+	Nodes  int
+	Model  *vtime.Model // nil disables virtual-time charging
+	Faults *fault.Plan  // nil means a perfect wire (no injection, zero overhead)
 }
 
 // Fabric connects Nodes endpoints.
@@ -135,6 +189,9 @@ func New(cfg Config) *Fabric {
 			id:        i,
 			rx:        queue.NewMPSC[*Message](),
 			tx:        make([]vtime.Resource, cfg.Nodes),
+			txSeq:     make([]uint32, cfg.Nodes),
+			txLastVT:  make([]int64, cfg.Nodes),
+			rxSeq:     make([]uint32, cfg.Nodes),
 			linkBytes: make([]telemetry.Histogram, cfg.Nodes),
 			mrs:       make(map[uint32][]uint64),
 			stop:      make(chan struct{}),
@@ -166,6 +223,13 @@ type Endpoint struct {
 
 	rx *queue.MPSC[*Message]
 	tx []vtime.Resource // per-destination egress bandwidth resource
+
+	// Per-queue-pair sequence state. txSeq/txLastVT[dst] are written
+	// only by this node's single Tx goroutine (the Post contract);
+	// rxSeq[src] only by the single Poll consumer.
+	txSeq    []uint32
+	txLastVT []int64 // last arrival VT per destination (in-order clamp)
+	rxSeq    []uint32
 
 	// linkBytes[dst] is the byte-size distribution of messages sent on
 	// the (this endpoint -> dst) link.
@@ -204,25 +268,38 @@ func (e *Endpoint) DeregisterMR(key uint32) {
 	delete(e.mrs, key)
 }
 
-func (e *Endpoint) region(key uint32) []uint64 {
+func (e *Endpoint) region(key uint32) ([]uint64, error) {
 	e.mrMu.RLock()
 	defer e.mrMu.RUnlock()
 	r, ok := e.mrs[key]
 	if !ok {
-		panic(fmt.Sprintf("fabric: node %d has no MR %d", e.id, key))
+		return nil, fmt.Errorf("%w: node %d has no MR %d", ErrMRNotFound, e.id, key)
 	}
-	return r
+	return r, nil
 }
 
 // Post transmits m as a two-sided SEND. m.SendVT must hold the sender's
 // virtual ready time (0 when no model). Delivery preserves per-pair FIFO
 // because each node posts from a single Tx goroutine.
-func (e *Endpoint) Post(m *Message) {
+//
+// With a fault plan configured, loss is absorbed by retransmission
+// (charged into m.VT and the link's bandwidth resource, go-back-N
+// style); Post fails with ErrRetryExceeded only when the retry budget
+// runs out, in which case the message was not delivered.
+func (e *Endpoint) Post(m *Message) error {
 	m.From = e.id
 	dst := e.fab.eps[m.To]
-	if mdl := e.fab.cfg.Model; mdl != nil {
+	mdl := e.fab.cfg.Model
+	if mdl != nil {
 		_, end := e.tx[m.To].Acquire(m.SendVT, mdl.XferCost(m.Bytes()))
 		m.VT = end + mdl.Wire
+	}
+	var dup bool
+	if fp := e.fab.cfg.Faults; fp != nil {
+		var err error
+		if dup, err = e.faultWire(fp, m, mdl); err != nil {
+			return err
+		}
 	}
 	e.stats.MsgsSent.Add(1)
 	e.stats.BytesSent.Add(int64(m.Bytes()))
@@ -230,73 +307,217 @@ func (e *Endpoint) Post(m *Message) {
 		e.stats.perKind[m.Kind].Add(1)
 	}
 	e.linkBytes[m.To].Observe(int64(m.Bytes()))
+	m.wireSeq = e.txSeq[m.To]
+	e.txSeq[m.To]++
 	dst.rx.Push(m)
+	if dup {
+		// The wire delivered the packet twice; the receiver's QP state
+		// discards the copy by sequence number (see accept).
+		d := *m
+		dst.rx.Push(&d)
+	}
+	return nil
 }
 
-// Poll retrieves one received message without blocking.
-func (e *Endpoint) Poll() (*Message, bool) { return e.rx.Pop() }
+// faultWire runs m through the fault plan's RC recovery loop: charges
+// retransmission penalties into m.VT and the egress link (later traffic
+// queues behind go-back-N resends), applies receiver stall windows, and
+// reports whether the wire duplicated the delivery.
+func (e *Endpoint) faultWire(fp *fault.Plan, m *Message, mdl *vtime.Model) (dup bool, err error) {
+	ref := m.VT
+	if mdl == nil {
+		ref = m.SendVT
+	}
+	v := fp.Wire(e.id, m.To, m.Kind, ref)
+	if v.Faults > 0 {
+		e.stats.FaultsInjected.Add(v.Faults)
+	}
+	e.stats.RetryHist(m.Kind).Observe(int64(v.Attempts))
+	if !v.Delivered {
+		e.stats.Timeouts.Add(1)
+		return false, fmt.Errorf("%w: SEND kind %d on link %d->%d after %d attempts",
+			ErrRetryExceeded, m.Kind, e.id, m.To, v.Attempts)
+	}
+	if v.Attempts > 1 {
+		e.stats.Retransmits.Add(int64(v.Attempts - 1))
+		if mdl != nil {
+			// Go-back-N: the resends re-occupy the link, so later
+			// messages on this queue pair serialize behind them.
+			e.tx[m.To].Acquire(m.VT, v.ExtraNs)
+		}
+	}
+	m.VT += v.ExtraNs
+	if s := fp.StallUntil(m.To, m.VT); s > m.VT {
+		m.VT = s
+	}
+	// Go-back-N delivers in order: a packet cannot become visible before
+	// its predecessor on the same queue pair, whatever jitter it drew.
+	if m.VT < e.txLastVT[m.To] {
+		m.VT = e.txLastVT[m.To]
+	}
+	e.txLastVT[m.To] = m.VT
+	return v.Duplicated, nil
+}
+
+// accept runs the receiver half of the QP sequence check: true for the
+// next in-order message, false for a duplicate (discarded, counted).
+// A gap means the RC layer lost an acknowledged SEND — a fabric bug —
+// and panics.
+func (e *Endpoint) accept(m *Message) bool {
+	d := int32(m.wireSeq - e.rxSeq[m.From])
+	switch {
+	case d == 0:
+		e.rxSeq[m.From]++
+		return true
+	case d < 0:
+		e.stats.DupsSuppressed.Add(1)
+		return false
+	default:
+		panic(fmt.Sprintf("fabric: QP %d->%d sequence gap: got #%d, want #%d",
+			m.From, e.id, m.wireSeq, e.rxSeq[m.From]))
+	}
+}
+
+// Poll retrieves one received message without blocking. Duplicate
+// deliveries from a lossy wire are discarded here, invisible to callers.
+func (e *Endpoint) Poll() (*Message, bool) {
+	for {
+		m, ok := e.rx.Pop()
+		if !ok {
+			return nil, false
+		}
+		if e.accept(m) {
+			return m, true
+		}
+	}
+}
 
 // PollWait blocks until a message arrives or the fabric is closed.
-func (e *Endpoint) PollWait() (*Message, bool) { return e.rx.PopWait(e.stop) }
+func (e *Endpoint) PollWait() (*Message, bool) {
+	for {
+		m, ok := e.rx.PopWait(e.stop)
+		if !ok {
+			return nil, false
+		}
+		if e.accept(m) {
+			return m, true
+		}
+	}
+}
 
 // Done exposes the endpoint's close channel (for Rx loops that select).
 func (e *Endpoint) Done() <-chan struct{} { return e.stop }
 
 // roundTrip charges clock for a one-sided verb moving n payload bytes and
-// returns after the virtual round trip completes.
-func (e *Endpoint) roundTrip(clock *vtime.Clock, to int, bytes int) {
+// returns after the virtual round trip completes. With a fault plan, the
+// verb retries through loss within its budget (penalty charged to the
+// caller's clock) and fails with ErrRetryExceeded past it.
+func (e *Endpoint) roundTrip(clock *vtime.Clock, to int, bytes int) error {
 	e.stats.OneSidedOps.Add(1)
 	e.stats.OneSidedByte.Add(int64(bytes))
 	mdl := e.fab.cfg.Model
-	if mdl == nil || clock == nil {
-		return
+	if mdl != nil && clock != nil {
+		_, end := e.tx[to].Acquire(clock.Now()+mdl.SendCost(), mdl.XferCost(bytes))
+		clock.AdvanceTo(end + mdl.RTT8 + mdl.PollCQ)
 	}
-	_, end := e.tx[to].Acquire(clock.Now()+mdl.SendCost(), mdl.XferCost(bytes))
-	clock.AdvanceTo(end + mdl.RTT8 + mdl.PollCQ)
+	fp := e.fab.cfg.Faults
+	if fp == nil {
+		return nil
+	}
+	var ref int64
+	if clock != nil {
+		ref = clock.Now()
+	}
+	v := fp.Wire(e.id, to, fault.KindOneSided, ref)
+	if v.Faults > 0 {
+		e.stats.FaultsInjected.Add(v.Faults)
+	}
+	e.stats.RetryHist(fault.KindOneSided).Observe(int64(v.Attempts))
+	if !v.Delivered {
+		e.stats.Timeouts.Add(1)
+		return fmt.Errorf("%w: one-sided verb to node %d after %d attempts",
+			ErrRetryExceeded, to, v.Attempts)
+	}
+	if v.Attempts > 1 {
+		e.stats.Retransmits.Add(int64(v.Attempts - 1))
+	}
+	if clock != nil {
+		clock.Advance(v.ExtraNs)
+		clock.AdvanceTo(fp.StallUntil(to, clock.Now()))
+	}
+	return nil
 }
 
 // ReadWord performs a one-sided 8-byte READ from (node to, region key,
 // word offset off).
-func (e *Endpoint) ReadWord(clock *vtime.Clock, to int, key uint32, off int64) uint64 {
+func (e *Endpoint) ReadWord(clock *vtime.Clock, to int, key uint32, off int64) (uint64, error) {
 	e.stats.Reads.Add(1)
-	e.roundTrip(clock, to, 8)
-	r := e.fab.eps[to].region(key)
-	return atomic.LoadUint64(&r[off])
+	if err := e.roundTrip(clock, to, 8); err != nil {
+		return 0, err
+	}
+	r, err := e.fab.eps[to].region(key)
+	if err != nil {
+		return 0, err
+	}
+	return atomic.LoadUint64(&r[off]), nil
 }
 
 // WriteWord performs a one-sided 8-byte WRITE.
-func (e *Endpoint) WriteWord(clock *vtime.Clock, to int, key uint32, off int64, v uint64) {
+func (e *Endpoint) WriteWord(clock *vtime.Clock, to int, key uint32, off int64, v uint64) error {
 	e.stats.Writes.Add(1)
-	e.roundTrip(clock, to, 8)
-	r := e.fab.eps[to].region(key)
+	if err := e.roundTrip(clock, to, 8); err != nil {
+		return err
+	}
+	r, err := e.fab.eps[to].region(key)
+	if err != nil {
+		return err
+	}
 	atomic.StoreUint64(&r[off], v)
+	return nil
 }
 
 // CompareAndSwap performs a one-sided atomic CAS (used by baselines for
 // remote read-modify-write without a coherence protocol).
-func (e *Endpoint) CompareAndSwap(clock *vtime.Clock, to int, key uint32, off int64, old, new uint64) bool {
+func (e *Endpoint) CompareAndSwap(clock *vtime.Clock, to int, key uint32, off int64, old, new uint64) (bool, error) {
 	e.stats.CASs.Add(1)
-	e.roundTrip(clock, to, 8)
-	r := e.fab.eps[to].region(key)
-	return atomic.CompareAndSwapUint64(&r[off], old, new)
+	if err := e.roundTrip(clock, to, 8); err != nil {
+		return false, err
+	}
+	r, err := e.fab.eps[to].region(key)
+	if err != nil {
+		return false, err
+	}
+	return atomic.CompareAndSwapUint64(&r[off], old, new), nil
 }
 
 // ReadWords performs a one-sided READ of n words into dst.
-func (e *Endpoint) ReadWords(clock *vtime.Clock, to int, key uint32, off int64, dst []uint64) {
+func (e *Endpoint) ReadWords(clock *vtime.Clock, to int, key uint32, off int64, dst []uint64) error {
 	e.stats.Reads.Add(1)
-	e.roundTrip(clock, to, 8*len(dst))
-	r := e.fab.eps[to].region(key)
+	if err := e.roundTrip(clock, to, 8*len(dst)); err != nil {
+		return err
+	}
+	r, err := e.fab.eps[to].region(key)
+	if err != nil {
+		return err
+	}
 	for i := range dst {
 		dst[i] = atomic.LoadUint64(&r[off+int64(i)])
 	}
+	return nil
 }
 
 // WriteWords performs a one-sided WRITE of src.
-func (e *Endpoint) WriteWords(clock *vtime.Clock, to int, key uint32, off int64, src []uint64) {
+func (e *Endpoint) WriteWords(clock *vtime.Clock, to int, key uint32, off int64, src []uint64) error {
 	e.stats.Writes.Add(1)
-	e.roundTrip(clock, to, 8*len(src))
-	r := e.fab.eps[to].region(key)
+	if err := e.roundTrip(clock, to, 8*len(src)); err != nil {
+		return err
+	}
+	r, err := e.fab.eps[to].region(key)
+	if err != nil {
+		return err
+	}
 	for i, v := range src {
 		atomic.StoreUint64(&r[off+int64(i)], v)
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"errors"
 	"testing"
 
 	"darray/internal/vtime"
@@ -13,12 +14,9 @@ func TestDeregisterMR(t *testing.T) {
 	f.Endpoint(1).RegisterMR(3, mem)
 	f.Endpoint(0).WriteWord(nil, 1, 3, 0, 5)
 	f.Endpoint(1).DeregisterMR(3)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("access after deregister should panic")
-		}
-	}()
-	f.Endpoint(0).ReadWord(nil, 1, 3, 0)
+	if _, err := f.Endpoint(0).ReadWord(nil, 1, 3, 0); !errors.Is(err, ErrMRNotFound) {
+		t.Fatalf("access after deregister: err = %v, want ErrMRNotFound", err)
+	}
 }
 
 func TestReRegisterMRReplaces(t *testing.T) {

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -79,8 +80,8 @@ func TestOneSidedReadWrite(t *testing.T) {
 	if mem[3] != 777 {
 		t.Fatalf("WriteWord did not land: %v", mem)
 	}
-	if got := f.Endpoint(1).ReadWord(&clk, 2, 5, 3); got != 777 {
-		t.Fatalf("ReadWord = %d, want 777", got)
+	if got, err := f.Endpoint(1).ReadWord(&clk, 2, 5, 3); err != nil || got != 777 {
+		t.Fatalf("ReadWord = %d, %v, want 777", got, err)
 	}
 }
 
@@ -106,11 +107,11 @@ func TestOneSidedCAS(t *testing.T) {
 	mem := make([]uint64, 4)
 	mem[0] = 5
 	f.Endpoint(1).RegisterMR(9, mem)
-	if !f.Endpoint(0).CompareAndSwap(nil, 1, 9, 0, 5, 6) {
-		t.Fatal("CAS with matching old failed")
+	if ok, err := f.Endpoint(0).CompareAndSwap(nil, 1, 9, 0, 5, 6); err != nil || !ok {
+		t.Fatalf("CAS with matching old failed: %v", err)
 	}
-	if f.Endpoint(0).CompareAndSwap(nil, 1, 9, 0, 5, 7) {
-		t.Fatal("CAS with stale old succeeded")
+	if ok, err := f.Endpoint(0).CompareAndSwap(nil, 1, 9, 0, 5, 7); err != nil || ok {
+		t.Fatalf("CAS with stale old succeeded (err=%v)", err)
 	}
 	if mem[0] != 6 {
 		t.Fatalf("mem[0] = %d, want 6", mem[0])
@@ -183,15 +184,27 @@ func TestCounters(t *testing.T) {
 	}
 }
 
-func TestUnknownMRPanics(t *testing.T) {
+// An unregistered MR is the RDMA analogue of an invalid rkey: the verb
+// completes with a typed error, never a panic.
+func TestUnknownMRError(t *testing.T) {
 	f := newTestFabric(2, nil)
 	defer f.Close()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for unknown MR")
-		}
-	}()
-	f.Endpoint(0).ReadWord(nil, 1, 99, 0)
+	if _, err := f.Endpoint(0).ReadWord(nil, 1, 99, 0); !errors.Is(err, ErrMRNotFound) {
+		t.Fatalf("ReadWord: err = %v, want ErrMRNotFound", err)
+	}
+	if err := f.Endpoint(0).WriteWord(nil, 1, 99, 0, 1); !errors.Is(err, ErrMRNotFound) {
+		t.Fatalf("WriteWord: err = %v, want ErrMRNotFound", err)
+	}
+	if _, err := f.Endpoint(0).CompareAndSwap(nil, 1, 99, 0, 0, 1); !errors.Is(err, ErrMRNotFound) {
+		t.Fatalf("CompareAndSwap: err = %v, want ErrMRNotFound", err)
+	}
+	buf := make([]uint64, 2)
+	if err := f.Endpoint(0).ReadWords(nil, 1, 99, 0, buf); !errors.Is(err, ErrMRNotFound) {
+		t.Fatalf("ReadWords: err = %v, want ErrMRNotFound", err)
+	}
+	if err := f.Endpoint(0).WriteWords(nil, 1, 99, 0, buf); !errors.Is(err, ErrMRNotFound) {
+		t.Fatalf("WriteWords: err = %v, want ErrMRNotFound", err)
+	}
 }
 
 func TestBadConfigPanics(t *testing.T) {

@@ -1,0 +1,207 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+
+	"darray/internal/fault"
+	"darray/internal/vtime"
+)
+
+// Satellite: per-pair FIFO must survive the lossy wire. Under a seeded
+// plan that drops and duplicates aggressively, receivers still observe
+// exactly-once, in-order delivery per queue pair — the RC contract.
+func TestFIFOSurvivesLossAndDuplication(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		plan := fault.New(fault.Config{
+			Seed: seed, Nodes: 3,
+			DropProb: 0.15, DupProb: 0.15, SpikeProb: 0.05, SpikeNs: 3000,
+		})
+		f := New(Config{Nodes: 3, Model: vtime.Default(), Faults: plan})
+		const n = 2000
+		for i := uint32(0); i < n; i++ {
+			// Interleave two queue pairs into node 2 to check per-pair
+			// isolation of the sequence streams.
+			if err := f.Endpoint(0).Post(&Message{To: 2, Seq: i}); err != nil {
+				t.Fatalf("seed %d: post 0->2 #%d: %v", seed, i, err)
+			}
+			if err := f.Endpoint(1).Post(&Message{To: 2, Seq: i}); err != nil {
+				t.Fatalf("seed %d: post 1->2 #%d: %v", seed, i, err)
+			}
+		}
+		var want [3]uint32
+		got := 0
+		var lastVT [3]int64
+		for got < 2*n {
+			m, ok := f.Endpoint(2).Poll()
+			if !ok {
+				t.Fatalf("seed %d: receiver starved after %d messages", seed, got)
+			}
+			if m.Seq != want[m.From] {
+				t.Fatalf("seed %d: pair %d->2 out of order: got %d, want %d", seed, m.From, m.Seq, want[m.From])
+			}
+			if m.VT < lastVT[m.From] {
+				t.Fatalf("seed %d: pair %d->2 VT regressed: %d after %d", seed, m.From, m.VT, lastVT[m.From])
+			}
+			lastVT[m.From] = m.VT
+			want[m.From]++
+			got++
+		}
+		if m, ok := f.Endpoint(2).Poll(); ok {
+			t.Fatalf("seed %d: duplicate leaked to receiver: %+v", seed, m)
+		}
+		st2 := f.Endpoint(2).Stats()
+		s := plan.Stats()
+		if s.Drops == 0 || s.Dups == 0 {
+			t.Fatalf("seed %d: fault plan injected nothing: %+v", seed, s)
+		}
+		if st2.DupsSuppressed.Load() == 0 {
+			t.Fatalf("seed %d: no duplicates suppressed despite %d dups injected", seed, s.Dups)
+		}
+		sent := f.Endpoint(0).Stats().Retransmits.Load() + f.Endpoint(1).Stats().Retransmits.Load()
+		if sent == 0 {
+			t.Fatalf("seed %d: no retransmissions recorded despite %d drops", seed, s.Drops)
+		}
+		f.Close()
+	}
+}
+
+// A permanent partition exhausts the retry budget: Post fails with
+// ErrRetryExceeded and the message is not delivered.
+func TestPostRetryExceeded(t *testing.T) {
+	plan := fault.New(fault.Config{
+		Seed: 1, Nodes: 2, RetryBudget: 4,
+		Partitions: []fault.Partition{{A: 0, B: 1, Start: 0, End: 1 << 60}},
+	})
+	f := New(Config{Nodes: 2, Model: vtime.Default(), Faults: plan})
+	defer f.Close()
+	err := f.Endpoint(0).Post(&Message{To: 1, Kind: 3})
+	if !errors.Is(err, ErrRetryExceeded) {
+		t.Fatalf("Post under permanent partition: err = %v, want ErrRetryExceeded", err)
+	}
+	if _, ok := f.Endpoint(1).Poll(); ok {
+		t.Fatal("undelivered message leaked to the receiver")
+	}
+	st := f.Endpoint(0).Stats()
+	if st.Timeouts.Load() != 1 || st.MsgsSent.Load() != 0 {
+		t.Fatalf("timeouts=%d msgs_sent=%d, want 1 and 0", st.Timeouts.Load(), st.MsgsSent.Load())
+	}
+	// The next message after the partition ends... never here: partition
+	// is permanent, so a second Post fails too.
+	if err := f.Endpoint(0).Post(&Message{To: 1}); !errors.Is(err, ErrRetryExceeded) {
+		t.Fatalf("second Post: err = %v, want ErrRetryExceeded", err)
+	}
+}
+
+// One-sided verbs consume the retry budget the same way and surface
+// ErrRetryExceeded without touching remote memory.
+func TestOneSidedRetryExceeded(t *testing.T) {
+	plan := fault.New(fault.Config{
+		Seed: 1, Nodes: 2, RetryBudget: 3,
+		Partitions: []fault.Partition{{A: 0, B: 1, Start: 0, End: 1 << 60}},
+	})
+	f := New(Config{Nodes: 2, Model: vtime.Default(), Faults: plan})
+	defer f.Close()
+	mem := make([]uint64, 4)
+	f.Endpoint(1).RegisterMR(1, mem)
+	var clk vtime.Clock
+	if err := f.Endpoint(0).WriteWord(&clk, 1, 1, 0, 99); !errors.Is(err, ErrRetryExceeded) {
+		t.Fatalf("WriteWord: err = %v, want ErrRetryExceeded", err)
+	}
+	if mem[0] != 0 {
+		t.Fatalf("failed WRITE mutated remote memory: %v", mem)
+	}
+	if _, err := f.Endpoint(0).ReadWord(&clk, 1, 1, 0); !errors.Is(err, ErrRetryExceeded) {
+		t.Fatalf("ReadWord: err = %v, want ErrRetryExceeded", err)
+	}
+	st := f.Endpoint(0).Stats()
+	if st.Timeouts.Load() != 2 {
+		t.Fatalf("timeouts = %d, want 2", st.Timeouts.Load())
+	}
+	if h := st.RetryHist(fault.KindOneSided).Data(); h.Count != 2 {
+		t.Fatalf("one-sided retry histogram count = %d, want 2", h.Count)
+	}
+}
+
+// Retransmission is charged as virtual time: a targeted drop of the
+// first SEND delays its arrival by at least the RTO, and a one-sided
+// verb's retry advances the caller's clock.
+func TestRetransmissionChargesVtime(t *testing.T) {
+	const rto = 50_000
+	plan := fault.New(fault.Config{
+		Seed: 1, Nodes: 2, RTO: rto,
+		Targeted: []fault.DropRule{{Kind: 5, Nth: 1}},
+	})
+	mdl := vtime.Default()
+	f := New(Config{Nodes: 2, Model: mdl, Faults: plan})
+	defer f.Close()
+	if err := f.Endpoint(0).Post(&Message{To: 1, Kind: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Endpoint(0).Post(&Message{To: 1, Kind: 6}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := f.Endpoint(1).Poll()
+	b, _ := f.Endpoint(1).Poll()
+	if a.VT < rto {
+		t.Fatalf("dropped-then-retransmitted message arrived at VT %d, want >= %d", a.VT, rto)
+	}
+	// Go-back-N: the later message on the same pair serializes behind
+	// the retransmission.
+	if b.VT < a.VT {
+		t.Fatalf("later message overtook the retransmission: %d < %d", b.VT, a.VT)
+	}
+	st := f.Endpoint(0).Stats()
+	if st.Retransmits.Load() != 1 || st.FaultsInjected.Load() != 1 {
+		t.Fatalf("retransmits=%d faults=%d, want 1 and 1", st.Retransmits.Load(), st.FaultsInjected.Load())
+	}
+	if h := st.RetryHist(5).Data(); h.Count != 1 || h.Sum != 2 {
+		t.Fatalf("kind-5 retry histogram = %+v, want one observation of 2 attempts", h)
+	}
+}
+
+// A stalled receiver delays message visibility and one-sided completion
+// until its stall window ends.
+func TestStallWindowDelaysDelivery(t *testing.T) {
+	plan := fault.New(fault.Config{
+		Seed: 1, Nodes: 2,
+		Stalls: []fault.Stall{{Node: 1, Start: 0, End: 500_000}},
+	})
+	f := New(Config{Nodes: 2, Model: vtime.Default(), Faults: plan})
+	defer f.Close()
+	if err := f.Endpoint(0).Post(&Message{To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := f.Endpoint(1).Poll()
+	if m.VT < 500_000 {
+		t.Fatalf("message visible at VT %d inside the stall window", m.VT)
+	}
+	mem := make([]uint64, 4)
+	f.Endpoint(1).RegisterMR(1, mem)
+	var clk vtime.Clock
+	if _, err := f.Endpoint(0).ReadWord(&clk, 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() < 500_000 {
+		t.Fatalf("one-sided completion at %d inside the stall window", clk.Now())
+	}
+}
+
+// With no fault plan the fast path must not observe any fault state:
+// sequence numbers still verify, nothing is counted.
+func TestNoPlanNoFaultAccounting(t *testing.T) {
+	f := New(Config{Nodes: 2, Model: vtime.Default()})
+	defer f.Close()
+	for i := 0; i < 100; i++ {
+		if err := f.Endpoint(0).Post(&Message{To: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := f.Endpoint(1).Poll(); !ok {
+			t.Fatal("delivery failed")
+		}
+	}
+	st := f.Endpoint(0).Stats()
+	if st.Retransmits.Load()|st.Timeouts.Load()|st.FaultsInjected.Load() != 0 {
+		t.Fatal("fault counters nonzero without a plan")
+	}
+}

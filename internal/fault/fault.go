@@ -1,0 +1,360 @@
+// Package fault is the deterministic fault-injection plan underneath the
+// simulated fabric. A Plan decides, for every wire traversal (two-sided
+// SEND or one-sided verb), whether the "packet" is dropped, duplicated,
+// delayed by a latency spike, blocked by a link partition window, or
+// stalled at a frozen receiver. The fabric consults the plan and models
+// RC queue-pair recovery on top of it: lost traversals are retransmitted
+// (charged as virtual-time penalty) until a bounded retry budget runs
+// out, at which point the verb completes in error.
+//
+// Determinism contract: every (from, to) link owns an independent RNG
+// stream seeded from Seed^linkID and a traversal sequence counter, so
+// the verdict for the Nth traversal of a link depends only on the plan
+// configuration and N — not on cross-link interleaving, wall-clock, or
+// scheduler behaviour. Feeding a link the same traversal sequence twice
+// yields byte-identical fault logs.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// KindOneSided tags one-sided verb traversals in fault decisions and
+// logs. Protocol message kinds are small integers (core uses 15,
+// fabric.MaxMsgKinds is 32), so 0xFF cannot collide.
+const KindOneSided uint8 = 0xFF
+
+// Defaults for the RC recovery model. The RTO doubles per retry up to
+// DefaultBackoffShiftCap, so a default budget covers
+// sum(20us<<min(i,6)) ≈ 2.8ms of virtual time — enough to ride out the
+// partition windows the chaos harness schedules, while still bounded.
+const (
+	DefaultRetryBudget     = 16
+	DefaultRTO             = 20_000 // ns of virtual time per base timeout
+	DefaultBackoffShiftCap = 6
+	DefaultLogCap          = 4096 // per-link fault log entries
+)
+
+// Partition blocks both directions of the (A, B) link while the
+// traversal's virtual time lies in [Start, End).
+type Partition struct {
+	A, B       int
+	Start, End int64
+}
+
+// Stall freezes node Node as a receiver: any traversal arriving at it
+// with virtual time in [Start, End) is delayed until End.
+type Stall struct {
+	Node       int
+	Start, End int64
+}
+
+// DropRule drops the Nth (1-based) traversal of the given message kind,
+// counted plan-wide. Used for targeted regression repros ("drop the 3rd
+// invalidation ack").
+type DropRule struct {
+	Kind uint8
+	Nth  int64
+}
+
+// Config parameterises a Plan. Zero-value probabilities inject nothing;
+// RetryBudget/RTO/BackoffShiftCap/LogCap fall back to the defaults
+// above when zero.
+type Config struct {
+	Seed  int64
+	Nodes int
+
+	DropProb  float64 // per-traversal loss probability
+	DupProb   float64 // per-delivery duplicate probability (receiver discards)
+	SpikeProb float64 // per-delivery latency-spike probability
+	SpikeNs   int64   // spike magnitude, ns of virtual time
+
+	Partitions []Partition
+	Stalls     []Stall
+	Targeted   []DropRule
+
+	RetryBudget     int
+	RTO             int64
+	BackoffShiftCap uint
+	LogCap          int
+}
+
+// Verdict is the outcome of one wire traversal after RC recovery.
+type Verdict struct {
+	// Delivered is false only when the retry budget was exhausted; the
+	// fabric must surface this as a completion error.
+	Delivered bool
+	// Attempts is the total number of transmissions (1 = clean).
+	Attempts int
+	// ExtraNs is the virtual-time penalty accumulated by retransmission
+	// timeouts and latency spikes.
+	ExtraNs int64
+	// Faults counts injected fault events (drops, dups, spikes) on this
+	// traversal.
+	Faults int64
+	// Duplicated reports that the wire delivered a duplicate; the
+	// simulated RNIC discards it (counted, invisible to the protocol).
+	Duplicated bool
+}
+
+// Stats aggregates injected-fault counts across a plan's lifetime.
+type Stats struct {
+	Drops, Dups, Spikes     int64
+	Retransmits, Timeouts   int64
+	Stalls, PartitionBlocks int64
+}
+
+// Total returns the total number of injected fault events.
+func (s Stats) Total() int64 {
+	return s.Drops + s.Dups + s.Spikes + s.Stalls
+}
+
+// Merge folds another snapshot into this one (for aggregating plans
+// across the many short-lived clusters a benchmark sweep builds).
+func (s Stats) Merge(o Stats) Stats {
+	s.Drops += o.Drops
+	s.Dups += o.Dups
+	s.Spikes += o.Spikes
+	s.Stalls += o.Stalls
+	s.PartitionBlocks += o.PartitionBlocks
+	s.Retransmits += o.Retransmits
+	s.Timeouts += o.Timeouts
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("drops=%d dups=%d spikes=%d stalls=%d partition_blocks=%d retransmits=%d timeouts=%d",
+		s.Drops, s.Dups, s.Spikes, s.Stalls, s.PartitionBlocks, s.Retransmits, s.Timeouts)
+}
+
+// Plan is a seeded, deterministic fault schedule shared by all endpoints
+// of one fabric. Safe for concurrent use; each link serialises its own
+// decisions.
+type Plan struct {
+	cfg   Config
+	links []*link
+
+	tgtMu     sync.Mutex
+	kindCount map[uint8]int64 // traversals seen per kind (for Targeted)
+
+	drops, dups, spikes     atomic.Int64
+	retransmits, timeouts   atomic.Int64
+	stalls, partitionBlocks atomic.Int64
+}
+
+type link struct {
+	from, to int
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	seq     int64
+	log     []string
+	clipped int64 // entries beyond LogCap
+}
+
+// New builds a plan. Nodes must be positive.
+func New(cfg Config) *Plan {
+	if cfg.Nodes <= 0 {
+		panic("fault: Nodes must be positive")
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = DefaultRetryBudget
+	}
+	if cfg.RTO <= 0 {
+		cfg.RTO = DefaultRTO
+	}
+	if cfg.BackoffShiftCap == 0 {
+		cfg.BackoffShiftCap = DefaultBackoffShiftCap
+	}
+	if cfg.LogCap <= 0 {
+		cfg.LogCap = DefaultLogCap
+	}
+	p := &Plan{
+		cfg:       cfg,
+		links:     make([]*link, cfg.Nodes*cfg.Nodes),
+		kindCount: make(map[uint8]int64),
+	}
+	for from := 0; from < cfg.Nodes; from++ {
+		for to := 0; to < cfg.Nodes; to++ {
+			id := from*cfg.Nodes + to
+			p.links[id] = &link{
+				from: from,
+				to:   to,
+				rng:  rand.New(rand.NewSource(cfg.Seed ^ (int64(id)+1)*0x5851f42d4c957f2d)),
+			}
+		}
+	}
+	return p
+}
+
+// Seed returns the plan's seed (printed in failure reports).
+func (p *Plan) Seed() int64 { return p.cfg.Seed }
+
+// Config returns a copy of the effective configuration.
+func (p *Plan) Config() Config { return p.cfg }
+
+// Stats snapshots the aggregate fault counters.
+func (p *Plan) Stats() Stats {
+	return Stats{
+		Drops:           p.drops.Load(),
+		Dups:            p.dups.Load(),
+		Spikes:          p.spikes.Load(),
+		Retransmits:     p.retransmits.Load(),
+		Timeouts:        p.timeouts.Load(),
+		Stalls:          p.stalls.Load(),
+		PartitionBlocks: p.partitionBlocks.Load(),
+	}
+}
+
+func (p *Plan) link(from, to int) *link {
+	return p.links[from*p.cfg.Nodes+to]
+}
+
+func (p *Plan) partitioned(from, to int, vt int64) bool {
+	for _, w := range p.cfg.Partitions {
+		if vt < w.Start || vt >= w.End {
+			continue
+		}
+		if (w.A == from && w.B == to) || (w.A == to && w.B == from) {
+			return true
+		}
+	}
+	return false
+}
+
+// targetedDrop reports whether this traversal of kind matches a
+// Targeted rule. Counted plan-wide in traversal order per kind.
+func (p *Plan) targetedDrop(kind uint8) bool {
+	if len(p.cfg.Targeted) == 0 {
+		return false
+	}
+	p.tgtMu.Lock()
+	defer p.tgtMu.Unlock()
+	p.kindCount[kind]++
+	n := p.kindCount[kind]
+	for _, r := range p.cfg.Targeted {
+		if r.Kind == kind && r.Nth == n {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *link) logf(cap int, format string, args ...any) {
+	if len(l.log) >= cap {
+		l.clipped++
+		return
+	}
+	l.log = append(l.log, fmt.Sprintf(format, args...))
+}
+
+// Wire decides the fate of one traversal of the (from, to) link carrying
+// a message of the given kind whose first transmission lands at virtual
+// time vt. It models the RC retransmission loop: each lost attempt
+// charges an exponentially backed-off RTO and retries, until delivery or
+// budget exhaustion.
+func (p *Plan) Wire(from, to int, kind uint8, vt int64) Verdict {
+	l := p.link(from, to)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	seq := l.seq
+
+	v := Verdict{Attempts: 1}
+	forced := p.targetedDrop(kind)
+	at := vt
+	for {
+		cause := ""
+		switch {
+		case p.partitioned(from, to, at):
+			cause = "partition"
+			p.partitionBlocks.Add(1)
+		case forced:
+			cause = "targeted"
+			forced = false
+		case p.cfg.DropProb > 0 && l.rng.Float64() < p.cfg.DropProb:
+			cause = "drop"
+		}
+		if cause == "" {
+			break
+		}
+		v.Faults++
+		p.drops.Add(1)
+		l.logf(p.cfg.LogCap, "%d->%d #%d kind=%d %s attempt=%d vt=%d", from, to, seq, kind, cause, v.Attempts, at)
+		if v.Attempts >= p.cfg.RetryBudget {
+			p.timeouts.Add(1)
+			l.logf(p.cfg.LogCap, "%d->%d #%d kind=%d retry-exceeded attempts=%d vt=%d", from, to, seq, kind, v.Attempts, at)
+			return v
+		}
+		shift := uint(v.Attempts - 1)
+		if shift > p.cfg.BackoffShiftCap {
+			shift = p.cfg.BackoffShiftCap
+		}
+		pen := p.cfg.RTO << shift
+		v.ExtraNs += pen
+		at += pen
+		v.Attempts++
+		p.retransmits.Add(1)
+	}
+	v.Delivered = true
+	if p.cfg.DupProb > 0 && l.rng.Float64() < p.cfg.DupProb {
+		v.Duplicated = true
+		v.Faults++
+		p.dups.Add(1)
+		l.logf(p.cfg.LogCap, "%d->%d #%d kind=%d dup vt=%d", from, to, seq, kind, at)
+	}
+	if p.cfg.SpikeProb > 0 && l.rng.Float64() < p.cfg.SpikeProb {
+		v.ExtraNs += p.cfg.SpikeNs
+		v.Faults++
+		p.spikes.Add(1)
+		l.logf(p.cfg.LogCap, "%d->%d #%d kind=%d spike=%dns vt=%d", from, to, seq, kind, p.cfg.SpikeNs, at)
+	}
+	return v
+}
+
+// StallUntil returns the virtual time at which a traversal arriving at
+// node at virtual time vt becomes visible, accounting for stall windows
+// (possibly chained). Returns vt unchanged when the node is live.
+func (p *Plan) StallUntil(node int, vt int64) int64 {
+	out := vt
+	for changed := true; changed; {
+		changed = false
+		for _, s := range p.cfg.Stalls {
+			if s.Node == node && out >= s.Start && out < s.End {
+				out = s.End
+				changed = true
+			}
+		}
+	}
+	if out != vt {
+		p.stalls.Add(1)
+	}
+	return out
+}
+
+// Log renders the full fault log, deterministically ordered by
+// (from, to, traversal sequence). Two runs that feed each link the same
+// traversal sequence produce byte-identical logs.
+func (p *Plan) Log() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault plan seed=%d nodes=%d drop=%g dup=%g spike=%g budget=%d rto=%dns\n",
+		p.cfg.Seed, p.cfg.Nodes, p.cfg.DropProb, p.cfg.DupProb, p.cfg.SpikeProb,
+		p.cfg.RetryBudget, p.cfg.RTO)
+	for _, l := range p.links {
+		l.mu.Lock()
+		for _, e := range l.log {
+			b.WriteString(e)
+			b.WriteByte('\n')
+		}
+		if l.clipped > 0 {
+			fmt.Fprintf(&b, "%d->%d (+%d entries clipped)\n", l.from, l.to, l.clipped)
+		}
+		l.mu.Unlock()
+	}
+	fmt.Fprintf(&b, "stats: %s\n", p.Stats())
+	return b.String()
+}

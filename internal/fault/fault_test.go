@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// Two plans with the same config, fed the same per-link traversal
+// sequence, must make identical decisions and produce byte-identical
+// fault logs.
+func TestDeterministicReplay(t *testing.T) {
+	cfg := Config{
+		Seed: 42, Nodes: 3,
+		DropProb: 0.2, DupProb: 0.1, SpikeProb: 0.1, SpikeNs: 5000,
+	}
+	run := func() (string, []Verdict) {
+		p := New(cfg)
+		var vs []Verdict
+		vt := int64(0)
+		for i := 0; i < 500; i++ {
+			from := i % 3
+			to := (i + 1) % 3
+			vs = append(vs, p.Wire(from, to, uint8(i%7), vt))
+			vt += 100
+		}
+		return p.Log(), vs
+	}
+	log1, vs1 := run()
+	log2, vs2 := run()
+	if log1 != log2 {
+		t.Fatalf("fault logs differ for identical seed/traffic:\n--- run1 ---\n%s\n--- run2 ---\n%s", log1, log2)
+	}
+	for i := range vs1 {
+		if vs1[i] != vs2[i] {
+			t.Fatalf("verdict %d differs: %+v vs %+v", i, vs1[i], vs2[i])
+		}
+	}
+	if !strings.Contains(log1, "seed=42") {
+		t.Fatalf("log must embed the seed, got header %q", strings.SplitN(log1, "\n", 2)[0])
+	}
+}
+
+// Independent links must have independent RNG streams: the decisions on
+// link 0->1 must not change when traffic is added on link 1->0.
+func TestLinkIsolation(t *testing.T) {
+	cfg := Config{Seed: 7, Nodes: 2, DropProb: 0.3}
+	collect := func(interleave bool) []Verdict {
+		p := New(cfg)
+		var vs []Verdict
+		for i := 0; i < 200; i++ {
+			if interleave {
+				p.Wire(1, 0, 0, 0)
+			}
+			vs = append(vs, p.Wire(0, 1, 0, 0))
+		}
+		return vs
+	}
+	a := collect(false)
+	b := collect(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("link 0->1 verdict %d affected by 1->0 traffic: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPartitionWindowRetriesThrough(t *testing.T) {
+	// Partition [1000, 50000) between nodes 0 and 1; RTO 20000 means the
+	// first retransmission at vt=21000 is still blocked, the second at
+	// vt=61000 goes through.
+	p := New(Config{
+		Seed: 1, Nodes: 2,
+		Partitions: []Partition{{A: 0, B: 1, Start: 1000, End: 50_000}},
+	})
+	v := p.Wire(0, 1, 3, 2000)
+	if !v.Delivered {
+		t.Fatalf("expected delivery after partition window, got %+v", v)
+	}
+	if v.Attempts != 3 {
+		t.Fatalf("expected 3 attempts (20000 + 40000 backoff), got %+v", v)
+	}
+	if v.ExtraNs != 20_000+40_000 {
+		t.Fatalf("expected 60000ns penalty, got %+v", v)
+	}
+	// Symmetric: the reverse direction is blocked too.
+	if r := p.Wire(1, 0, 3, 2000); r.Attempts == 1 {
+		t.Fatalf("reverse direction not partitioned: %+v", r)
+	}
+	// Outside the window: clean.
+	if c := p.Wire(0, 1, 3, 60_000); c.Attempts != 1 || !c.Delivered {
+		t.Fatalf("traversal outside window not clean: %+v", c)
+	}
+}
+
+func TestPermanentPartitionExhaustsBudget(t *testing.T) {
+	p := New(Config{
+		Seed: 1, Nodes: 2, RetryBudget: 4,
+		Partitions: []Partition{{A: 0, B: 1, Start: 0, End: 1 << 60}},
+	})
+	v := p.Wire(0, 1, 0, 0)
+	if v.Delivered {
+		t.Fatalf("expected retry-exceeded under permanent partition, got %+v", v)
+	}
+	if v.Attempts != 4 {
+		t.Fatalf("expected budget=4 attempts, got %+v", v)
+	}
+	if s := p.Stats(); s.Timeouts != 1 {
+		t.Fatalf("expected 1 timeout, got %+v", s)
+	}
+	if !strings.Contains(p.Log(), "retry-exceeded") {
+		t.Fatalf("log missing retry-exceeded entry:\n%s", p.Log())
+	}
+}
+
+func TestTargetedDrop(t *testing.T) {
+	p := New(Config{
+		Seed: 9, Nodes: 2,
+		Targeted: []DropRule{{Kind: 5, Nth: 3}},
+	})
+	for i := 1; i <= 5; i++ {
+		v := p.Wire(0, 1, 5, 0)
+		want := 1
+		if i == 3 {
+			want = 2 // dropped once, retransmitted clean
+		}
+		if v.Attempts != want || !v.Delivered {
+			t.Fatalf("traversal %d: got %+v, want attempts=%d", i, v, want)
+		}
+	}
+	// Other kinds unaffected.
+	if v := p.Wire(0, 1, 4, 0); v.Attempts != 1 {
+		t.Fatalf("kind 4 affected by targeted rule: %+v", v)
+	}
+}
+
+func TestStallWindows(t *testing.T) {
+	p := New(Config{
+		Seed: 1, Nodes: 2,
+		Stalls: []Stall{{Node: 1, Start: 100, End: 200}, {Node: 1, Start: 200, End: 300}},
+	})
+	if got := p.StallUntil(1, 150); got != 300 {
+		t.Fatalf("chained stall windows: got %d, want 300", got)
+	}
+	if got := p.StallUntil(1, 50); got != 50 {
+		t.Fatalf("before window: got %d, want 50", got)
+	}
+	if got := p.StallUntil(0, 150); got != 150 {
+		t.Fatalf("other node stalled: got %d, want 150", got)
+	}
+	if s := p.Stats(); s.Stalls != 1 {
+		t.Fatalf("expected 1 stall event, got %+v", s)
+	}
+}
+
+func TestBackoffShiftCap(t *testing.T) {
+	p := New(Config{
+		Seed: 1, Nodes: 2, RetryBudget: 10, RTO: 100, BackoffShiftCap: 2,
+		Partitions: []Partition{{A: 0, B: 1, Start: 0, End: 1 << 60}},
+	})
+	v := p.Wire(0, 1, 0, 0)
+	// Penalties: 100, 200, 400, 400, ... (cap at shift 2), 9 retransmissions.
+	want := int64(100 + 200 + 400*7)
+	if v.ExtraNs != want {
+		t.Fatalf("backoff penalty: got %d, want %d", v.ExtraNs, want)
+	}
+}
+
+func TestCleanPlanInjectsNothing(t *testing.T) {
+	p := New(Config{Seed: 3, Nodes: 2})
+	for i := 0; i < 1000; i++ {
+		v := p.Wire(0, 1, uint8(i%7), int64(i))
+		if !v.Delivered || v.Attempts != 1 || v.ExtraNs != 0 || v.Faults != 0 {
+			t.Fatalf("clean plan injected a fault: %+v", v)
+		}
+	}
+	if s := p.Stats(); s.Total() != 0 {
+		t.Fatalf("clean plan stats nonzero: %+v", s)
+	}
+}

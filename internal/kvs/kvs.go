@@ -68,6 +68,10 @@ type Store struct {
 // Node returns this handle's node.
 func (s *Store) Node() *cluster.Node { return s.node }
 
+// WordStores exposes the underlying entry and byte stores, so harnesses
+// (chaos testing) can reach the backing arrays for invariant checks.
+func (s *Store) WordStores() (entries, bytes WordStore) { return s.entries, s.bytes }
+
 // ErrNotFound is returned by Get/Delete when the key is absent.
 var ErrNotFound = errors.New("kvs: key not found")
 
