@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench chaos check
+.PHONY: build test race vet bench bench-json stream chaos check
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,10 @@ test:
 	$(GO) test ./...
 
 # The concurrency-heavy packages under the race detector: the coherence
-# protocol, the telemetry registry, the fault-injected fabric, and the
-# layers between them.
+# protocol, the telemetry registry, the fault-injected fabric, the
+# lock-free queues, the streaming bench, and the layers between them.
 race:
-	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/cluster/... ./internal/fabric/... ./internal/fault/... ./internal/chaos/...
+	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/cluster/... ./internal/fabric/... ./internal/fault/... ./internal/chaos/... ./internal/queue/... ./internal/bench/...
 
 vet:
 	$(GO) vet ./...
@@ -20,9 +20,21 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-# Short seeded chaos smoke: every workload (microbench, PageRank, CC,
-# KVS YCSB-B) must survive the default fault schedule bit-identically.
+# Machine-readable micro results (sequential/random paths per system,
+# streaming bulk transfers serial and pipelined) with run metadata.
+bench-json:
+	$(GO) run ./cmd/darray-bench -json-out BENCH_micro.json
+
+# Streaming smoke: the bulk-transfer pipeline, doorbell batching, and
+# coalescing tables at CI scale, plus the >=2x speedup gate.
+stream:
+	$(GO) run ./cmd/darray-bench -fig stream -words-per-node 8192 -max-nodes 3
+	$(GO) test -run 'TestStream' -count=1 ./internal/bench/
+
+# Short seeded chaos smoke: every workload (microbench, bulk-range,
+# PageRank, CC, KVS YCSB-B) must survive the default fault schedule
+# bit-identically.
 chaos:
 	$(GO) test -run 'TestChaos' -count=1 ./internal/chaos/
 
-check: build vet test race chaos
+check: build vet test race stream chaos

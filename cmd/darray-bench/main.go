@@ -19,6 +19,8 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -49,6 +51,13 @@ func main() {
 		metricAddr = flag.String("metrics-addr", "", "serve live metrics (expvar, /debug/metrics, pprof) on this address; implies -metrics")
 		chaosOn    = flag.Bool("chaos", false, "inject seeded fabric faults under every experiment (drops, dups, spikes, a partition window, a stalled node)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "fault plan seed for -chaos; the same seed replays the same plan")
+		jsonOut    = flag.String("json-out", "", "run the micro suite and write machine-readable results (e.g. BENCH_micro.json)")
+		txBurst    = flag.Int("tx-burst", 0, "work requests per doorbell in the Tx thread (0 default, 1 or -1 disables batching)")
+		pipeDepth  = flag.Int("pipeline", 0, "outstanding chunk fetches per bulk range (0 default, 1 or -1 serial)")
+		prefetch   = flag.Int("prefetch", 0, "chunks prefetched on a sequential miss (0 default, -1 disables prefetch and the detector)")
+		noCoalesce = flag.Bool("no-coalesce", false, "disable destination coalescing of coherence commands")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -57,6 +66,33 @@ func main() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	fmt.Println("calibrating cost model on this host...")
@@ -71,6 +107,10 @@ func main() {
 	p.ZipfOps = *zipfOps
 	p.RandomOps = *randomOps
 	p.Threads = parseInts(*threads)
+	p.TxBurst = *txBurst
+	p.PipelineDepth = *pipeDepth
+	p.PrefetchAhead = *prefetch
+	p.DisableCoalesce = *noCoalesce
 	if *metricAddr != "" {
 		*metrics = true
 	}
@@ -126,9 +166,20 @@ func main() {
 			os.Exit(1)
 		}
 		run(e)
+	case *jsonOut != "":
+		// -json-out alone runs just the micro suite (below).
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *jsonOut != "" {
+		start := time.Now()
+		if err := bench.WriteMicroJSON(*jsonOut, p); err != nil {
+			fmt.Fprintf(os.Stderr, "json-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (micro suite, %v wall time)\n", *jsonOut, time.Since(start).Round(time.Millisecond))
 	}
 
 	if p.Telemetry != nil {

@@ -25,17 +25,21 @@ import (
 
 func main() {
 	var (
-		app       = flag.String("app", "pagerank", "pagerank | cc | bfs | sssp")
-		eng       = flag.String("engine", "darray", "darray | darray-pin | gemini")
-		input     = flag.String("input", "", "edge-list file (default: generate R-MAT)")
-		scale     = flag.Int("scale", 12, "R-MAT scale when generating")
-		nodes     = flag.Int("nodes", 4, "simulated cluster nodes")
-		threads   = flag.Int("threads", 1, "application threads per node (darray engine)")
-		iters     = flag.Int("iters", 10, "PageRank iterations")
-		root      = flag.Int64("root", 0, "BFS/SSSP source vertex")
-		metrics   = flag.Bool("metrics", false, "print the cluster telemetry report after the run")
-		chaosOn   = flag.Bool("chaos", false, "inject seeded fabric faults (enables the virtual-time model: fault windows are vtime-keyed)")
-		chaosSeed = flag.Int64("chaos-seed", 1, "fault plan seed for -chaos")
+		app        = flag.String("app", "pagerank", "pagerank | cc | bfs | sssp")
+		eng        = flag.String("engine", "darray", "darray | darray-pin | gemini")
+		input      = flag.String("input", "", "edge-list file (default: generate R-MAT)")
+		scale      = flag.Int("scale", 12, "R-MAT scale when generating")
+		nodes      = flag.Int("nodes", 4, "simulated cluster nodes")
+		threads    = flag.Int("threads", 1, "application threads per node (darray engine)")
+		iters      = flag.Int("iters", 10, "PageRank iterations")
+		root       = flag.Int64("root", 0, "BFS/SSSP source vertex")
+		metrics    = flag.Bool("metrics", false, "print the cluster telemetry report after the run")
+		chaosOn    = flag.Bool("chaos", false, "inject seeded fabric faults (enables the virtual-time model: fault windows are vtime-keyed)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "fault plan seed for -chaos")
+		txBurst    = flag.Int("tx-burst", 0, "work requests per doorbell in the Tx thread (0 default, 1 or -1 disables batching)")
+		pipeDepth  = flag.Int("pipeline", 0, "outstanding chunk fetches per bulk range (0 default, 1 or -1 serial)")
+		prefetch   = flag.Int("prefetch", 0, "chunks prefetched on a sequential miss (0 default, -1 disables prefetch and the detector)")
+		noCoalesce = flag.Bool("no-coalesce", false, "disable destination coalescing of coherence commands")
 	)
 	flag.Parse()
 
@@ -44,9 +48,13 @@ func main() {
 		g.N, g.Edges(), *eng, *app, *nodes, *threads)
 
 	cfg := cluster.Config{
-		Nodes:       *nodes,
-		Metrics:     *metrics,
-		MsgKindName: core.KindName,
+		Nodes:           *nodes,
+		Metrics:         *metrics,
+		MsgKindName:     core.KindName,
+		TxBurst:         *txBurst,
+		PipelineDepth:   *pipeDepth,
+		PrefetchAhead:   *prefetch,
+		DisableCoalesce: *noCoalesce,
 	}
 	var plan *fault.Plan
 	if *chaosOn {

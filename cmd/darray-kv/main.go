@@ -27,24 +27,32 @@ import (
 
 func main() {
 	var (
-		nodes     = flag.Int("nodes", 3, "simulated cluster nodes")
-		threads   = flag.Int("threads", 2, "application threads per node")
-		records   = flag.Int64("records", 50000, "distinct keys")
-		ops       = flag.Int("ops", 20000, "operations per thread")
-		getRatio  = flag.Float64("get-ratio", 0.95, "fraction of gets")
-		theta     = flag.Float64("theta", 0.99, "zipfian skew")
-		backend   = flag.String("backend", "darray", "darray or gam")
-		valueLen  = flag.Int("value-len", 100, "value size in bytes")
-		metrics   = flag.Bool("metrics", false, "print the cluster telemetry report after the run")
-		chaosOn   = flag.Bool("chaos", false, "inject seeded fabric faults (enables the virtual-time model: fault windows are vtime-keyed)")
-		chaosSeed = flag.Int64("chaos-seed", 1, "fault plan seed for -chaos")
+		nodes      = flag.Int("nodes", 3, "simulated cluster nodes")
+		threads    = flag.Int("threads", 2, "application threads per node")
+		records    = flag.Int64("records", 50000, "distinct keys")
+		ops        = flag.Int("ops", 20000, "operations per thread")
+		getRatio   = flag.Float64("get-ratio", 0.95, "fraction of gets")
+		theta      = flag.Float64("theta", 0.99, "zipfian skew")
+		backend    = flag.String("backend", "darray", "darray or gam")
+		valueLen   = flag.Int("value-len", 100, "value size in bytes")
+		metrics    = flag.Bool("metrics", false, "print the cluster telemetry report after the run")
+		chaosOn    = flag.Bool("chaos", false, "inject seeded fabric faults (enables the virtual-time model: fault windows are vtime-keyed)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "fault plan seed for -chaos")
+		txBurst    = flag.Int("tx-burst", 0, "work requests per doorbell in the Tx thread (0 default, 1 or -1 disables batching)")
+		pipeDepth  = flag.Int("pipeline", 0, "outstanding chunk fetches per bulk range (0 default, 1 or -1 serial)")
+		prefetch   = flag.Int("prefetch", 0, "chunks prefetched on a sequential miss (0 default, -1 disables prefetch and the detector)")
+		noCoalesce = flag.Bool("no-coalesce", false, "disable destination coalescing of coherence commands")
 	)
 	flag.Parse()
 
 	clcfg := cluster.Config{
-		Nodes:       *nodes,
-		Metrics:     *metrics,
-		MsgKindName: core.KindName,
+		Nodes:           *nodes,
+		Metrics:         *metrics,
+		MsgKindName:     core.KindName,
+		TxBurst:         *txBurst,
+		PipelineDepth:   *pipeDepth,
+		PrefetchAhead:   *prefetch,
+		DisableCoalesce: *noCoalesce,
 	}
 	var plan *fault.Plan
 	if *chaosOn {

@@ -65,6 +65,13 @@ var (
 	OpMaxF64 = core.OpMaxF64
 )
 
+// WithPrefetch returns Options pinning one array's bulk-transfer
+// pipeline to k outstanding chunk fetches (k <= 1 forces the serial
+// path); combine with the cluster-wide Config knobs (TxBurst,
+// PipelineDepth, PrefetchAhead, DisableCoalesce) to tune or ablate the
+// streaming optimizations.
+var WithPrefetch = core.WithPrefetch
+
 // NewCluster builds and starts a simulated cluster.
 func NewCluster(cfg Config) *Cluster { return cluster.New(cfg) }
 

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Machine-readable microbenchmark output (BENCH_micro.json): a stable
+// per-benchmark ns/op record plus run metadata, so successive PRs leave
+// a comparable perf trajectory instead of prose tables only.
+
+// MicroResult is one named measurement. NsPerOp and MopsPerSec are in
+// virtual time (the calibrated cost model); WallNsPerOp is the host
+// wall-clock cost per operation, meaningful only on an idle machine.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MopsPerSec  float64 `json:"mops_per_sec"`
+	WallNsPerOp float64 `json:"wall_ns_per_op,omitempty"`
+}
+
+// MicroReport is the whole BENCH_micro.json document.
+type MicroReport struct {
+	Schema       string        `json:"schema"`
+	GeneratedAt  string        `json:"generated_at"`
+	GoVersion    string        `json:"go_version"`
+	GOOS         string        `json:"goos"`
+	GOARCH       string        `json:"goarch"`
+	NumCPU       int           `json:"num_cpu"`
+	WordsPerNode int64         `json:"words_per_node"`
+	Nodes        int           `json:"nodes"`
+	Results      []MicroResult `json:"results"`
+}
+
+// MicroJSON runs the micro suite at p's scale and returns the report.
+// The suite covers the single-word sequential paths (per system), the
+// random-access path, and the streaming bulk-transfer path with the
+// pipeline off and on.
+func MicroJSON(p Params) MicroReport {
+	nodes := min(3, p.MaxNodes)
+	rep := MicroReport{
+		Schema:       "darray-bench-micro/v1",
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		WordsPerNode: p.WordsPerNode,
+		Nodes:        nodes,
+	}
+	addSeq := func(name, system, op string, n int) {
+		r := runSeq(p, system, op, n, 1)
+		rep.Results = append(rep.Results, MicroResult{
+			Name: name, NsPerOp: r.meanNs(), MopsPerSec: r.mops(),
+		})
+	}
+	addSeq("seq-read/darray/1node", "darray", "read", 1)
+	addSeq("seq-read/darray", "darray", "read", nodes)
+	addSeq("seq-read/darray-pin", "darray-pin", "read", nodes)
+	addSeq("seq-read/gam", "gam", "read", nodes)
+	addSeq("seq-read/bcl", "bcl", "read", nodes)
+	addSeq("seq-write/darray", "darray", "write", nodes)
+	addSeq("seq-operate/darray", "darray", "operate", nodes)
+	rep.Results = append(rep.Results, MicroResult{
+		Name:    "random-read/darray",
+		NsPerOp: runRandom(p, "darray", "read", nodes),
+	})
+	addStream := func(name string, sc streamConfig) {
+		r := runStream(p, nodes, sc)
+		rep.Results = append(rep.Results, MicroResult{
+			Name: name, NsPerOp: r.nsPerOp(), MopsPerSec: r.mops(),
+			WallNsPerOp: r.wallNsPerOp(),
+		})
+	}
+	addStream("stream-getrange/serial", baselineStream(false))
+	addStream("stream-getrange/pipelined", streamConfig{txBurst: 0, coalesce: true})
+	addStream("stream-setrange/serial", baselineStream(true))
+	addStream("stream-setrange/pipelined", streamConfig{txBurst: 0, coalesce: true, write: true})
+	return rep
+}
+
+// WriteMicroJSON runs the micro suite and writes the report to path.
+func WriteMicroJSON(path string, p Params) error {
+	rep := MicroJSON(p)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

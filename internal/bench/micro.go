@@ -39,6 +39,14 @@ type Params struct {
 	// per cluster keeps targeted Nth-message rules and fault logs scoped
 	// to one cluster's lifetime.
 	Faults func(nodes int) *fault.Plan
+
+	// Transport and pipeline knobs, forwarded to every cluster the
+	// experiments build. Zero values keep the cluster defaults; -1
+	// disables (see cluster.Config).
+	TxBurst         int
+	PipelineDepth   int
+	PrefetchAhead   int
+	DisableCoalesce bool
 }
 
 // DefaultParams returns container-friendly sizes.
@@ -69,12 +77,16 @@ func (p Params) cluster(nodes int) *cluster.Cluster {
 		plan = p.Faults(nodes)
 	}
 	return cluster.New(cluster.Config{
-		Nodes:       nodes,
-		Model:       p.Model,
-		CacheChunks: int(perRT),
-		Telemetry:   p.Telemetry,
-		MsgKindName: core.KindName,
-		Faults:      plan,
+		Nodes:           nodes,
+		Model:           p.Model,
+		CacheChunks:     int(perRT),
+		Telemetry:       p.Telemetry,
+		MsgKindName:     core.KindName,
+		Faults:          plan,
+		TxBurst:         p.TxBurst,
+		PipelineDepth:   p.PipelineDepth,
+		PrefetchAhead:   p.PrefetchAhead,
+		DisableCoalesce: p.DisableCoalesce,
 	})
 }
 

@@ -28,6 +28,7 @@ func Experiments() []Experiment {
 		{"fig17", "KVS YCSB throughput: DArray-KVS vs GAM-KVS", Fig17},
 		{"fig18", "Random access latency (poor locality limitation)", Fig18},
 		{"ablation", "Design ablations: prefetch, chunk size, signaling, runtimes", Ablations},
+		{"stream", "Streaming bulk transfers: pipelined ranges, doorbell batching, coalescing", Stream},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

@@ -37,6 +37,20 @@ func TestChaosMicrobench(t *testing.T) {
 	}
 }
 
+// TestChaosBulkRange pushes the pipelined bulk-transfer path (multiple
+// outstanding chunk fetches, doorbell-batched and coalesced commands)
+// through the default fault schedule: the fingerprint covers every
+// node's GetRange read-back, so it must be bit-identical to the
+// fault-free run with no goroutine leaks.
+func TestChaosBulkRange(t *testing.T) {
+	for _, seed := range []int64{42, 1337} {
+		out := runChaos(t, chaos.BulkRange(4096), chaos.Config{Seed: seed, Threads: 2})
+		if out.FaultStats.PartitionBlocks == 0 {
+			t.Errorf("seed %d: the partition window never fired: %+v", seed, out.FaultStats)
+		}
+	}
+}
+
 func TestChaosPageRank(t *testing.T) {
 	// Small chunks so the 256 vertices spread across all four nodes and
 	// scatter traffic actually crosses the faulty links.

@@ -108,6 +108,77 @@ func Microbench(words int64, opsPerThread int) Workload {
 	}
 }
 
+// BulkRange streams multi-chunk GetRange/SetRange/ApplyRange transfers
+// across node boundaries, so the pipelined bulk path, doorbell
+// batching, and command coalescing all run over the faulty fabric.
+// Writers stay disjoint (each node streams into exactly one partition),
+// ApplyRange traffic is commutative, and every node folds its own
+// GetRange read-back into the fingerprint — so a lost, duplicated, or
+// reordered chunk fetch shows up as a fingerprint divergence, not just
+// a wrong final state.
+func BulkRange(words int64) Workload {
+	return Workload{
+		Name: "bulk-range",
+		Run: func(c *cluster.Cluster, threads int, seed int64) (uint64, []*core.Array) {
+			parts := make([]uint64, c.Nodes())
+			var arrays []*core.Array
+			c.Run(func(n *cluster.Node) {
+				ctx0 := n.NewCtx(0)
+				a := core.New(n, words)
+				add := a.RegisterOp(core.OpAddU64)
+				if n.ID() == 0 {
+					arrays = []*core.Array{a}
+				}
+				c.Barrier(ctx0)
+
+				// Each node streams one SetRange into its successor's whole
+				// partition: multi-chunk, fully remote, disjoint writers.
+				per := words / int64(c.Nodes())
+				peer := int64((n.ID() + 1) % c.Nodes())
+				src := make([]uint64, per)
+				for i := range src {
+					src[i] = mix64((uint64(peer*per) + uint64(i)) ^ uint64(seed))
+				}
+				a.SetRange(ctx0, peer*per, src)
+				c.Barrier(ctx0)
+
+				// Alternating rounds of commutative ApplyRange (every
+				// thread of every node, over a window straddling two
+				// partition boundaries) and full-array GetRange read-backs
+				// folded into the fingerprint. The pipeline compresses
+				// virtual time, so several rounds are needed to march the
+				// traffic through the vtime-keyed partition and stall
+				// windows; the read-back each round checks the bulk read
+				// path itself, not just the final state.
+				h := fnvOffset
+				dst := make([]uint64, words)
+				for r := 0; r < 4; r++ {
+					n.RunThreads(threads, func(ctx *cluster.Ctx) {
+						span := words / 2
+						vals := make([]uint64, span)
+						for i := range vals {
+							vals[i] = mix64(uint64(i) + uint64(seed)*17 + uint64(r)*101)
+						}
+						a.ApplyRange(ctx, add, words/4, vals)
+					})
+					c.Barrier(ctx0)
+					a.GetRange(ctx0, 0, dst)
+					for _, v := range dst {
+						h = fnvMix(h, v)
+					}
+					c.Barrier(ctx0)
+				}
+				parts[n.ID()] = h
+			})
+			h := fnvOffset
+			for _, p := range parts {
+				h = fnvMix(h, p)
+			}
+			return h, arrays
+		},
+	}
+}
+
 // PageRank runs the real engine on an RMAT graph and fingerprints the
 // ranks quantized to 1e-9: float combine order under Operate is
 // scheduling-dependent, but its noise (~1e-16 relative) sits ten orders

@@ -36,7 +36,23 @@ type Config struct {
 	CacheChunks   int     // cache capacity per runtime thread, in chunks; default 1024
 	LowWatermark  float64 // eviction trigger, fraction of free lines; default 0.30
 	HighWatermark float64 // eviction target, fraction of free lines; default 0.50
-	PrefetchAhead int     // chunks prefetched on a sequential miss; default 2
+	PrefetchAhead int     // chunks prefetched on a sequential miss; default 2, -1 disables
+
+	// Transmit-path batching (paper §4.5, BCL-style aggregation). The Tx
+	// thread drains up to TxBurst queued work requests per doorbell; the
+	// burst leader pays the full doorbell cost, followers pay only the
+	// chained-WQE cost (vtime.Model.ChainCost). 1 disables batching and
+	// reproduces the one-doorbell-per-message behaviour exactly; default
+	// 16.
+	TxBurst int
+	// DisableCoalesce turns off destination coalescing of payload-free
+	// coherence commands within a Tx burst (for apples-to-apples
+	// ablations; see Node.coalesce).
+	DisableCoalesce bool
+	// PipelineDepth is the default number of outstanding chunk fetches a
+	// bulk range operation keeps in flight (core.GetRange and friends).
+	// 1 or -1 restores the serial chunk-at-a-time slow path; default 8.
+	PipelineDepth int
 
 	// Telemetry optionally shares one metrics registry across clusters
 	// (the benchmark harness builds one cluster per data point); nil
@@ -73,6 +89,20 @@ func (c *Config) fill() {
 		c.PrefetchAhead = 0
 	} else if c.PrefetchAhead == 0 {
 		c.PrefetchAhead = 2
+	}
+	if c.TxBurst <= 0 {
+		if c.TxBurst < 0 {
+			c.TxBurst = 1
+		} else {
+			c.TxBurst = 16
+		}
+	}
+	if c.PipelineDepth <= 0 {
+		if c.PipelineDepth < 0 {
+			c.PipelineDepth = 1
+		} else {
+			c.PipelineDepth = 8
+		}
 	}
 }
 
@@ -239,6 +269,17 @@ func (c *Cluster) collectFabric(emit telemetry.Emit) {
 	}
 	for i := 0; i < c.cfg.Nodes; i++ {
 		st := c.fab.Endpoint(i).Stats()
+		perNode("fabric/coalesced_cmds", i, c.nodes[i].coalesced.Load())
+		if h := c.nodes[i].dbHist.Data(); h.Count > 0 {
+			per := make([]int64, i+1)
+			per[i] = h.Count
+			emit(telemetry.Metric{
+				Name:    "fabric/doorbell_batch",
+				Kind:    telemetry.KindHistogram,
+				PerNode: per,
+				Hist:    h,
+			})
+		}
 		perNode("fabric/msgs_sent", i, st.MsgsSent.Load())
 		perNode("fabric/bytes_sent", i, st.BytesSent.Load())
 		perNode("fabric/onesided_ops", i, st.OneSidedOps.Load())
@@ -463,6 +504,33 @@ func (ctx *Ctx) WaitResp() Resp {
 // Complete delivers the completion for ctx's outstanding request; called
 // by runtime goroutines.
 func (ctx *Ctx) Complete(r Resp) { ctx.resp <- r }
+
+// Token is a completion slot for one asynchronous slow-path request. A
+// Ctx's built-in response channel admits a single outstanding request at
+// a time; tokens let one application thread keep several requests in
+// flight — the bulk-transfer pipeline issues one per chunk — each with
+// its own completion.
+type Token struct {
+	node *Node
+	ch   chan Resp
+}
+
+// NewToken allocates a completion token bound to this node's cluster.
+func (n *Node) NewToken() *Token { return &Token{node: n, ch: make(chan Resp, 1)} }
+
+// Complete delivers the token's completion; called by runtime goroutines.
+func (t *Token) Complete(r Resp) { t.ch <- r }
+
+// Wait blocks until the token completes, degrading with the cluster's
+// fatal fabric error exactly like Ctx.WaitResp.
+func (t *Token) Wait() Resp {
+	select {
+	case r := <-t.ch:
+		return r
+	case <-t.node.c.failCh:
+		return Resp{Err: t.node.c.failErr}
+	}
+}
 
 // Fail records the first error observed on this thread (completion
 // errors from one-sided verbs or slow-path requests).

@@ -8,6 +8,7 @@ import (
 
 	"darray/internal/fabric"
 	"darray/internal/queue"
+	"darray/internal/telemetry"
 	"darray/internal/vtime"
 )
 
@@ -26,6 +27,11 @@ type Node struct {
 	routeMu sync.RWMutex
 	routes  map[uint32]Route
 
+	// Tx-path batching telemetry: work requests per doorbell, and how
+	// many protocol commands destination coalescing absorbed.
+	dbHist    telemetry.Histogram
+	coalesced atomic.Int64
+
 	collSeq atomic.Uint64
 }
 
@@ -37,6 +43,11 @@ type Route struct {
 	RuntimeOf func(m *fabric.Message) int
 	// Handle processes the message on its runtime goroutine.
 	Handle func(rt *Runtime, m *fabric.Message)
+	// Coalescible reports which payload-free protocol kinds the Tx
+	// thread may destination-coalesce (nil: none). Only kinds whose
+	// messages carry no Data and whose handling depends solely on
+	// (From, Chunk, VT) are safe to mark.
+	Coalescible func(kind uint8) bool
 }
 
 func newNode(c *Cluster, id int) *Node {
@@ -116,31 +127,89 @@ func (n *Node) stopAll() {
 // RDMA-request queue and posts work requests, applying selective
 // signaling accounting via the model's SendCost, charged as the Tx
 // thread's own serial resource.
+//
+// Bursting: when the queue holds more than one message the loop drains
+// up to TxBurst of them, optionally destination-coalesces adjacent
+// payload-free commands, and posts the burst behind a single doorbell —
+// the leader pays the full SendCost, followers only the chained-WQE
+// cost. TxBurst=1 reproduces the unbatched per-message charging.
 func (n *Node) txLoop() {
 	defer n.wg.Done()
 	var txRes vtime.Resource
 	mdl := n.c.cfg.Model
+	limit := n.c.cfg.TxBurst
+	burst := make([]*fabric.Message, 0, limit)
 	for {
 		m, ok := n.txq.PopWait(n.stop)
 		if !ok {
 			return
 		}
-		if mdl != nil {
-			_, end := txRes.Acquire(m.SendVT, mdl.SendCost())
-			m.SendVT = end
+		burst = append(burst[:0], m)
+		for len(burst) < limit {
+			m2, ok := n.txq.Pop()
+			if !ok {
+				break
+			}
+			burst = append(burst, m2)
 		}
-		if err := n.ep.Post(m); err != nil {
-			// The peer stayed unreachable past the retransmission
-			// budget. There is no caller to hand the completion to (the
-			// Tx thread is asynchronous), so mark the whole cluster
-			// failed: every blocked WaitResp unblocks with this error.
-			n.c.fail(fmt.Errorf("node %d tx: %w", n.id, err))
+		if !n.c.cfg.DisableCoalesce && len(burst) > 1 {
+			burst = n.coalesce(burst)
+		}
+		n.dbHist.Observe(int64(len(burst)))
+		for i, m := range burst {
+			if mdl != nil {
+				_, end := txRes.Acquire(m.SendVT, mdl.PostCost(i == 0))
+				m.SendVT = end
+			}
+			if err := n.ep.Post(m); err != nil {
+				// The peer stayed unreachable past the retransmission
+				// budget. There is no caller to hand the completion to (the
+				// Tx thread is asynchronous), so mark the whole cluster
+				// failed: every blocked WaitResp unblocks with this error.
+				n.c.fail(fmt.Errorf("node %d tx: %w", n.id, err))
+			}
 		}
 	}
 }
 
+// coalesce merges adjacent burst entries that carry the same payload-free
+// protocol command to the same (destination, array): the survivor keeps
+// its own chunk and accumulates the absorbed chunks in Data, and the Rx
+// thread fans them back out. Only strictly adjacent runs are merged so
+// per-destination FIFO order is preserved even with interleaved traffic.
+func (n *Node) coalesce(burst []*fabric.Message) []*fabric.Message {
+	out := burst[:0]
+	var lead *fabric.Message
+	var lr Route
+	for _, m := range burst {
+		if lead != nil && m.To == lead.To && m.Array == lead.Array &&
+			m.Kind == lead.Kind && len(m.Data) == 0 && !m.Coal &&
+			lr.Coalescible != nil && lr.Coalescible(m.Kind) {
+			lead.Coal = true
+			lead.Data = append(lead.Data, uint64(m.Chunk))
+			if m.SendVT > lead.SendVT {
+				lead.SendVT = m.SendVT
+			}
+			n.coalesced.Add(1)
+			continue
+		}
+		lead = m
+		n.routeMu.RLock()
+		lr = n.routes[m.Array]
+		n.routeMu.RUnlock()
+		if len(m.Data) != 0 || m.Coal || lr.Coalescible == nil || !lr.Coalescible(m.Kind) {
+			lead = nil // not a merge candidate; never absorb into it
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
 // rxLoop is the dedicated receive thread: it polls the endpoint and
 // delivers RPC messages to the runtime that owns the target chunk.
+// Coalesced commands are fanned back out here: the wire carried one
+// message, but each absorbed chunk is delivered to its owning runtime
+// as if it had arrived alone.
 func (n *Node) rxLoop() {
 	defer n.wg.Done()
 	for {
@@ -156,10 +225,27 @@ func (n *Node) rxLoop() {
 			// programming error; drop loudly in tests via panic.
 			panic("cluster: message for unregistered array")
 		}
-		rt := n.rts[r.RuntimeOf(m)]
-		rt.rpcq.Push(rpcItem{route: r, msg: m})
-		rt.notify()
+		if m.Coal {
+			// Never mutate m itself: the sender's endpoint may still hold
+			// the same pointer for retransmission. Deliver copies.
+			lead := *m
+			lead.Coal, lead.Data = false, nil
+			n.deliver(r, &lead)
+			for _, ci := range m.Data {
+				cm := lead
+				cm.Chunk = int64(ci)
+				n.deliver(r, &cm)
+			}
+			continue
+		}
+		n.deliver(r, m)
 	}
+}
+
+func (n *Node) deliver(r Route, m *fabric.Message) {
+	rt := n.rts[r.RuntimeOf(m)]
+	rt.rpcq.Push(rpcItem{route: r, msg: m})
+	rt.notify()
 }
 
 type rpcItem struct {

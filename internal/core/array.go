@@ -41,6 +41,15 @@ type Array struct {
 	// Protocol counters (updated by runtime goroutines with atomics).
 	Metrics Metrics
 
+	// pipeline is the effective bulk-transfer pipeline depth for this
+	// array (>= 1; 1 means serial chunk-at-a-time ranges).
+	pipeline int
+	// seqTrig is the mid-chunk offset at which Get feeds the sequential
+	// detector; -1 disables the detector entirely.
+	seqTrig int64
+	// seq is the detector state, packed chunk<<8 | streak (see noteSeq).
+	seq atomic.Int64
+
 	tr tracer // optional protocol event recorder (see EnableTrace)
 }
 
@@ -71,6 +80,14 @@ type Metrics struct {
 	// (paper Figure 5), indexed by Transition.
 	Transitions [NumTransitions]atomic.Int64
 
+	// Prefetch accounting. Prefetches counts issued speculative fills
+	// (both the slow-path miss prefetcher and the sequential detector);
+	// hit/wasted attribution of already-filled lines depends on the
+	// telemetry-gated fast-path check, so treat the split as a
+	// telemetry-mode statistic.
+	PrefetchHits   atomic.Int64 // speculative fills consumed by a demand access
+	PrefetchWasted atomic.Int64 // speculative fills evicted or invalidated untouched
+
 	// Fast-path counters, gated on cluster telemetry (see telOn).
 	Hits        atomic.Int64 // fast-path accesses served from a resident chunk
 	Misses      atomic.Int64 // slow-path requests submitted to the runtime
@@ -87,18 +104,47 @@ type Options struct {
 	// len == nodes; offsets must be non-decreasing, start at 0, and are
 	// rounded up to chunk boundaries.
 	PartitionOffset []int64
+
+	// Pipeline overrides the cluster's PipelineDepth for this array: the
+	// number of outstanding chunk fetches a bulk range keeps in flight.
+	// 0 uses the cluster default; 1 or -1 forces the serial path.
+	Pipeline int
+
+	// NoSeqDetect disables the sequential-access detector (speculative
+	// next-chunk prefetch from the Get/PinRead fast path) for this
+	// array. The detector is also off cluster-wide when PrefetchAhead
+	// is -1 (the prefetch-free ablation configuration).
+	NoSeqDetect bool
+}
+
+// WithPrefetch returns Options pinning the bulk-transfer pipeline depth
+// to k outstanding chunk fetches (k <= 1 forces the serial path).
+func WithPrefetch(k int) Options {
+	if k < 1 {
+		k = -1
+	}
+	return Options{Pipeline: k}
 }
 
 // New collectively creates a distributed array of n 8-byte elements,
 // evenly partitioned across the cluster's nodes by default. Every node
-// must call New in the same program order (SPMD).
+// must call New in the same program order (SPMD). Multiple Options
+// values are merged field-wise (later non-zero fields win).
 func New(node *cluster.Node, n int64, opts ...Options) *Array {
 	if n <= 0 {
 		panic("core: array length must be positive")
 	}
 	var opt Options
-	if len(opts) > 0 {
-		opt = opts[0]
+	for _, o := range opts {
+		if o.PartitionOffset != nil {
+			opt.PartitionOffset = o.PartitionOffset
+		}
+		if o.Pipeline != 0 {
+			opt.Pipeline = o.Pipeline
+		}
+		if o.NoSeqDetect {
+			opt.NoSeqDetect = true
+		}
 	}
 	c := node.Cluster()
 	shAny := node.Collective(func() any { return buildShared(c, n, opt) })
@@ -154,10 +200,26 @@ func buildShared(c *cluster.Cluster, n int64, opt Options) *shared {
 	}
 	sh.starts[nodes] = nChunks
 
+	depth := opt.Pipeline
+	if depth == 0 {
+		depth = c.Config().PipelineDepth
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	// The detector samples Get at mid-chunk: far enough in to confirm a
+	// streaming pattern, early enough that the speculative fill beats the
+	// scan to the next chunk boundary.
+	seqTrig := cw / 2
+	if opt.NoSeqDetect || c.Config().PrefetchAhead == 0 {
+		seqTrig = -1
+	}
+
 	sh.insts = make([]*Array, nodes)
 	for v := int64(0); v < nodes; v++ {
 		node := c.Node(int(v))
-		a := &Array{sh: sh, node: node, model: c.Model(), reg: c.Telemetry()}
+		a := &Array{sh: sh, node: node, model: c.Model(), reg: c.Telemetry(),
+			pipeline: depth, seqTrig: seqTrig}
 		lo, hi := sh.starts[v]*cw, sh.starts[v+1]*cw
 		if hi > n {
 			hi = n
@@ -200,6 +262,18 @@ func (a *Array) wire() {
 			return int(m.Chunk % int64(nrt))
 		},
 		Handle: a.handleMsg,
+		// Payload-free commands whose handling depends only on
+		// (From, Chunk, VT) may be destination-coalesced by the Tx
+		// thread. Operate-family messages are excluded: they carry an
+		// OpID the merge key does not compare.
+		Coalescible: func(kind uint8) bool {
+			switch kind {
+			case msgReadReq, msgWriteReq, msgInvalidate, msgInvAck,
+				msgDowngrade, msgRecall, msgOpRecall:
+				return true
+			}
+			return false
+		},
 	})
 	a.node.Cluster().AddMetricsCollector(a.collectMetrics)
 }

@@ -9,11 +9,42 @@ import (
 // acquisition per chunk instead of per element — the natural companion
 // to the Pin interface for dense transfers (and the access pattern GAM
 // was designed around, cf. §2).
+//
+// When the range spans more than one chunk and the array's pipeline
+// depth is > 1, acquisitions run through rangePipeline so up to K
+// coherence round trips are in flight at once; otherwise the serial
+// chunk-at-a-time loop below is used (and is the ablation baseline).
+
+// usePipeline reports whether a range over [i, i+n) should go through
+// the async pipeline, and returns the covered chunk interval.
+func (a *Array) usePipeline(i, n int64) (ciLo, ciHi int64, ok bool) {
+	ciLo = i / a.sh.chunkWords
+	ciHi = (i + n - 1) / a.sh.chunkWords
+	return ciLo, ciHi, a.pipeline > 1 && ciHi > ciLo
+}
 
 // GetRange copies elements [i, i+len(dst)) into dst.
 func (a *Array) GetRange(ctx *cluster.Ctx, i int64, dst []uint64) {
+	if len(dst) == 0 {
+		return
+	}
+	if ciLo, ciHi, ok := a.usePipeline(i, int64(len(dst))); ok {
+		end := i + int64(len(dst))
+		a.rangePipeline(ctx, ciLo, ciHi, wantPinRead, 0, func(p *Pin) {
+			lo, hi := maxi64(i, p.base), mini64(end, p.limit)
+			copy(dst[lo-i:hi-i], p.d.data[lo-p.base:hi-p.base])
+			if m := a.model; m != nil {
+				ctx.Clock.Advance(m.CopyCost(int(8 * (hi - lo))))
+			}
+			ctx.Stats.Ops++
+		})
+		return
+	}
 	for len(dst) > 0 {
 		p := a.PinRead(ctx, i)
+		if p == nil {
+			return // cluster failed; see ctx.Err
+		}
 		n := p.Limit() - i
 		if n > int64(len(dst)) {
 			n = int64(len(dst))
@@ -32,8 +63,26 @@ func (a *Array) GetRange(ctx *cluster.Ctx, i int64, dst []uint64) {
 
 // SetRange copies src into elements [i, i+len(src)).
 func (a *Array) SetRange(ctx *cluster.Ctx, i int64, src []uint64) {
+	if len(src) == 0 {
+		return
+	}
+	if ciLo, ciHi, ok := a.usePipeline(i, int64(len(src))); ok {
+		end := i + int64(len(src))
+		a.rangePipeline(ctx, ciLo, ciHi, wantPinWrite, 0, func(p *Pin) {
+			lo, hi := maxi64(i, p.base), mini64(end, p.limit)
+			copy(p.d.data[lo-p.base:hi-p.base], src[lo-i:hi-i])
+			if m := a.model; m != nil {
+				ctx.Clock.Advance(m.CopyCost(int(8 * (hi - lo))))
+			}
+			ctx.Stats.Ops++
+		})
+		return
+	}
 	for len(src) > 0 {
 		p := a.PinWrite(ctx, i)
+		if p == nil {
+			return // cluster failed; see ctx.Err
+		}
 		n := p.Limit() - i
 		if n > int64(len(src)) {
 			n = int64(len(src))
@@ -53,8 +102,24 @@ func (a *Array) SetRange(ctx *cluster.Ctx, i int64, src []uint64) {
 // ApplyRange combines src[k] into element i+k for every k under the
 // registered operator — a bulk Operate.
 func (a *Array) ApplyRange(ctx *cluster.Ctx, op OpID, i int64, src []uint64) {
+	if len(src) == 0 {
+		return
+	}
+	if ciLo, ciHi, ok := a.usePipeline(i, int64(len(src))); ok {
+		end := i + int64(len(src))
+		a.rangePipeline(ctx, ciLo, ciHi, wantPinOperate, op, func(p *Pin) {
+			lo, hi := maxi64(i, p.base), mini64(end, p.limit)
+			for k := lo; k < hi; k++ {
+				p.Apply(ctx, k, src[k-i])
+			}
+		})
+		return
+	}
 	for len(src) > 0 {
 		p := a.PinOperate(ctx, i, op)
+		if p == nil {
+			return // cluster failed; see ctx.Err
+		}
 		n := p.Limit() - i
 		if n > int64(len(src)) {
 			n = int64(len(src))

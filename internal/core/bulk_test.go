@@ -142,6 +142,72 @@ func TestRangeRoundTripQuick(t *testing.T) {
 	})
 }
 
+// TestBulkRangeManyChunks streams SetRange/GetRange through the
+// pipelined bulk path across 24 chunks and two node boundaries, with a
+// serial (pipeline and detector off) array as a control: both spellings
+// must observe identical data.
+func TestBulkRangeManyChunks(t *testing.T) {
+	c := tc(t, 3, func(cfg *cluster.Config) { cfg.CacheChunks = 32 })
+	c.Run(func(n *cluster.Node) {
+		const words = 3 * 64 * 8 // 8 chunks per node
+		a := New(n, words)
+		s := New(n, words, Options{Pipeline: -1, NoSeqDetect: true})
+		ctx := n.NewCtx(0)
+		c.Barrier(ctx)
+		if n.ID() == 0 {
+			src := make([]uint64, words)
+			for i := range src {
+				src[i] = uint64(7*i + 1)
+			}
+			a.SetRange(ctx, 0, src) // one call spanning every chunk
+			s.SetRange(ctx, 0, src)
+		}
+		c.Barrier(ctx)
+		got := make([]uint64, words)
+		a.GetRange(ctx, 0, got)
+		ser := make([]uint64, words)
+		s.GetRange(ctx, 0, ser)
+		for i := range got {
+			if got[i] != uint64(7*i+1) || ser[i] != got[i] {
+				t.Errorf("node %d: [%d] pipelined=%d serial=%d, want %d",
+					n.ID(), i, got[i], ser[i], 7*i+1)
+				return
+			}
+		}
+		c.Barrier(ctx)
+	})
+}
+
+// TestApplyRangeManyChunksAllNodes drives a commutative ApplyRange from
+// every node over the full 24-chunk array: ownership of every chunk
+// migrates while the pipeline keeps several fetches in flight.
+func TestApplyRangeManyChunksAllNodes(t *testing.T) {
+	c := tc(t, 3, func(cfg *cluster.Config) { cfg.CacheChunks = 32 })
+	c.Run(func(n *cluster.Node) {
+		const words = 3 * 64 * 8
+		a := New(n, words)
+		add := a.RegisterOp(OpAddU64)
+		ctx := n.NewCtx(0)
+		c.Barrier(ctx)
+		vals := make([]uint64, words)
+		for i := range vals {
+			vals[i] = uint64(i%97 + 1)
+		}
+		a.ApplyRange(ctx, add, 0, vals)
+		c.Barrier(ctx)
+		if n.ID() == 0 {
+			for i := int64(0); i < words; i++ {
+				want := 3 * uint64(i%97+1)
+				if got := a.Get(ctx, i); got != want {
+					t.Errorf("a[%d] = %d, want %d", i, got, want)
+					return
+				}
+			}
+		}
+		c.Barrier(ctx)
+	})
+}
+
 func TestMetricsCounters(t *testing.T) {
 	c := tc(t, 2, func(cfg *cluster.Config) { cfg.CacheChunks = 4 })
 	c.Run(func(n *cluster.Node) {

@@ -147,6 +147,9 @@ func (a *Array) finishEvict(rt *cluster.Runtime, d *dentry, prevState uint32) {
 		a.send(&fMsg{to: home, kind: msgOpFlush, chunk: ci, op: stateOp(prevState),
 			data: data, flag: true, vt: d.tvt})
 	}
+	if d.pf.CompareAndSwap(true, false) {
+		a.Metrics.PrefetchWasted.Add(1)
+	}
 	s := a.rstate(rt)
 	s.freeLine(d.line)
 	d.line = nil

@@ -13,6 +13,11 @@ import (
 func (a *Array) cacheRequest(rt *cluster.Runtime, d *dentry, w *waiter) {
 	d.waiters = append(d.waiters, w)
 	if d.pending || d.busy {
+		// Demand caught up with an in-flight speculative fill: that fill
+		// just became useful.
+		if d.pending && d.pf.CompareAndSwap(true, false) {
+			a.Metrics.PrefetchHits.Add(1)
+		}
 		return // outstanding grant or eviction completes first
 	}
 	a.issueRequest(rt, d)
@@ -54,15 +59,24 @@ func (a *Array) prefetch(ci int64, vt int64) {
 		}
 		dj := &a.dents[cj]
 		a.rtOf(cj).Submit(func(rt *cluster.Runtime) {
-			if dj.pending || dj.busy || statePerm(dj.state.Load()) != permInvalid {
-				return
-			}
-			dj.pending = true
-			a.Metrics.Prefetches.Add(1)
-			a.send(&fMsg{to: a.homeOfChunk(cj), kind: msgReadReq, chunk: cj,
-				vt: maxi64(vt, dj.tvt)})
+			a.prefetchChunk(rt, dj, vt)
 		})
 	}
+}
+
+// prefetchChunk issues a speculative read request for chunk d if it is
+// absent and idle. Runs on d's owning runtime goroutine; both the
+// slow-path miss prefetcher and the fast-path sequential detector land
+// here, so the dedup against pending/busy/resident is in one place.
+func (a *Array) prefetchChunk(rt *cluster.Runtime, d *dentry, vt int64) {
+	if d.pending || d.busy || statePerm(d.state.Load()) != permInvalid {
+		return
+	}
+	d.pending = true
+	d.pf.Store(true)
+	a.Metrics.Prefetches.Add(1)
+	a.send(&fMsg{to: a.homeOfChunk(d.ci), kind: msgReadReq, chunk: d.ci,
+		vt: maxi64(vt, d.tvt)})
 }
 
 // withLine runs cont once d has a backing cache line, allocating one
@@ -258,10 +272,14 @@ func (a *Array) handleOpRecall(rt *cluster.Runtime, d *dentry, svt int64) {
 	})
 }
 
-// releaseLine detaches and frees d's cache line.
+// releaseLine detaches and frees d's cache line. A line dying with its
+// prefetch mark still set was filled speculatively and never touched.
 func (a *Array) releaseLine(rt *cluster.Runtime, d *dentry) {
 	if d.line == nil {
 		return
+	}
+	if d.pf.CompareAndSwap(true, false) {
+		a.Metrics.PrefetchWasted.Add(1)
 	}
 	s := a.rstate(rt)
 	s.freeLine(d.line)

@@ -86,8 +86,12 @@ func satisfies(s uint32, w uint8, op OpID) bool {
 }
 
 // waiter is one blocked slow-path request from an application thread.
+// tok, when non-nil, receives the completion instead of ctx's built-in
+// response channel: the bulk-transfer pipeline keeps several requests in
+// flight per thread, one token each.
 type waiter struct {
 	ctx  *cluster.Ctx
+	tok  *cluster.Token
 	want uint8
 	op   OpID
 	vt   int64 // requester's virtual time at submission
@@ -101,6 +105,11 @@ type dentry struct {
 	state  atomic.Uint32
 	delay  atomic.Bool
 	refcnt atomic.Int64
+
+	// pf marks an outstanding (or unconsumed) speculative fill: set when
+	// a prefetch request is issued, cleared by the first demand access
+	// (a prefetch hit) or by eviction/invalidation (a wasted prefetch).
+	pf atomic.Bool
 
 	ci   int64    // this dentry's global chunk index
 	data []uint64 // resident words: home subarray slice or cache line

@@ -18,6 +18,11 @@ func (a *Array) Get(ctx *cluster.Ctx, i int64) uint64 {
 	if m := a.model; m != nil {
 		ctx.Clock.Advance(m.GetHit)
 	}
+	if off == a.seqTrig {
+		// Mid-chunk sample point for the sequential-access detector: one
+		// int compare per Get when the detector is off (seqTrig == -1).
+		a.noteSeq(ctx, ci)
+	}
 	for {
 		if d.delay.Load() { // prevent runtime starvation
 			if a.telOn() {
@@ -35,6 +40,7 @@ func (a *Array) Get(ctx *cluster.Ctx, i int64) uint64 {
 			ctx.Stats.Hits++
 			if a.telOn() {
 				a.Metrics.Hits.Add(1)
+				a.notePrefetchHit(d)
 			}
 			return v
 		}

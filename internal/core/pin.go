@@ -43,6 +43,16 @@ func (a *Array) PinOperate(ctx *cluster.Ctx, i int64, op OpID) *Pin {
 	return a.pin(ctx, i, wantPinOperate, op)
 }
 
+// mkPin builds the Pin handle for chunk ci once a reference is held.
+func (a *Array) mkPin(d *dentry, ci int64, fn func(acc, operand uint64) uint64, op OpID) *Pin {
+	base := ci * a.sh.chunkWords
+	limit := base + a.sh.chunkWords
+	if limit > a.sh.n {
+		limit = a.sh.n
+	}
+	return &Pin{a: a, d: d, base: base, limit: limit, apFn: fn, op: op}
+}
+
 func (a *Array) pin(ctx *cluster.Ctx, i int64, want uint8, op OpID) *Pin {
 	ci, _ := a.locate(i)
 	d := &a.dents[ci]
@@ -51,13 +61,8 @@ func (a *Array) pin(ctx *cluster.Ctx, i int64, want uint8, op OpID) *Pin {
 	if want == wantPinOperate {
 		fn = a.op(op).Fn
 	}
-	mk := func() *Pin {
-		base := ci * a.sh.chunkWords
-		limit := base + a.sh.chunkWords
-		if limit > a.sh.n {
-			limit = a.sh.n
-		}
-		return &Pin{a: a, d: d, base: base, limit: limit, apFn: fn, op: op}
+	if want == wantPinRead && a.seqTrig >= 0 {
+		a.noteSeq(ctx, ci)
 	}
 	for {
 		if d.delay.Load() {
@@ -73,8 +78,9 @@ func (a *Array) pin(ctx *cluster.Ctx, i int64, want uint8, op OpID) *Pin {
 			ctx.Stats.Hits++
 			if a.telOn() {
 				a.Metrics.PinFast.Add(1)
+				a.notePrefetchHit(d)
 			}
-			return mk() // keep the reference: that is the pin
+			return a.mkPin(d, ci, fn, op) // keep the reference: that is the pin
 		}
 		d.refcnt.Add(-1)
 		granted, failed := a.slowPathPin(ctx, d, ci, want, op)
@@ -86,7 +92,7 @@ func (a *Array) pin(ctx *cluster.Ctx, i int64, want uint8, op OpID) *Pin {
 			if a.telOn() {
 				a.Metrics.PinSlow.Add(1)
 			}
-			return mk()
+			return a.mkPin(d, ci, fn, op)
 		}
 	}
 }

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"darray/internal/cluster"
+)
+
+// Pipelined bulk transfers (BCL-style aggregation, cf. PAPERS.md Brock
+// et al.): a bulk range operation keeps up to PipelineDepth chunk
+// acquisitions outstanding, so the coherence round trips for chunks
+// i+1..i+K overlap the copy of chunk i instead of serializing one RTT
+// per chunk. Each in-flight acquisition completes through its own
+// cluster.Token, sidestepping the Ctx single-outstanding-request limit.
+
+// chunkReq is one in-flight chunk acquisition of a bulk pipeline.
+type chunkReq struct {
+	ci  int64
+	d   *dentry
+	tok *cluster.Token // slow-path completion; nil when pin fast-granted
+	pin *Pin           // non-nil when the lock-free fast path granted
+}
+
+// issueChunk starts acquiring a pin on chunk ci without blocking: one
+// non-blocking fast-path attempt, then an asynchronous slow-path request
+// completing through a fresh token. A raised delay flag is not spun on —
+// the runtime is mid-transition and the slow path will queue behind it.
+func (a *Array) issueChunk(ctx *cluster.Ctx, ci int64, want uint8, op OpID, fn func(acc, operand uint64) uint64) *chunkReq {
+	d := &a.dents[ci]
+	r := &chunkReq{ci: ci, d: d}
+	ctx.Stats.Ops++
+	if !d.delay.Load() {
+		d.refcnt.Add(1)
+		if satisfies(d.state.Load(), want, op) {
+			ctx.Stats.Hits++
+			if a.telOn() {
+				a.Metrics.PinFast.Add(1)
+				a.notePrefetchHit(d)
+			}
+			r.pin = a.mkPin(d, ci, fn, op)
+			return r
+		}
+		d.refcnt.Add(-1)
+	}
+	if ctx.Err() != nil {
+		return r // tok stays nil; awaitChunk reports the failure
+	}
+	ctx.Stats.Misses++
+	if a.telOn() {
+		a.Metrics.Misses.Add(1)
+	}
+	vt := ctx.Clock.Now()
+	if m := a.model; m != nil {
+		vt += m.SlowFixed
+	}
+	r.tok = a.node.NewToken()
+	w := &waiter{ctx: ctx, tok: r.tok, want: want, op: op, vt: vt}
+	a.rtOf(ci).Submit(func(rt *cluster.Runtime) {
+		a.handleLocal(rt, d, ci, w)
+	})
+	return r
+}
+
+// awaitChunk blocks until r's acquisition completes and returns the pin,
+// or nil when the cluster has failed (recorded on ctx). In the rare case
+// that the granted state was lost again before the pin could be taken,
+// it falls back to the synchronous pin path.
+func (a *Array) awaitChunk(ctx *cluster.Ctx, r *chunkReq, want uint8, op OpID, fn func(acc, operand uint64) uint64) *Pin {
+	if r.pin != nil {
+		return r.pin
+	}
+	if r.tok == nil {
+		return nil // issued after the cluster already failed
+	}
+	resp := r.tok.Wait()
+	if resp.Err != nil {
+		ctx.Fail(resp.Err)
+		return nil
+	}
+	ctx.Clock.AdvanceTo(resp.VT)
+	if resp.Val == 1 {
+		// The runtime took the reference on our behalf.
+		if a.telOn() {
+			a.Metrics.PinSlow.Add(1)
+		}
+		return a.mkPin(r.d, r.ci, fn, op)
+	}
+	return a.pin(ctx, r.ci*a.sh.chunkWords, want, op)
+}
+
+// rangePipeline pins chunks [ciLo, ciHi] in order with up to
+// a.pipeline acquisitions outstanding, calling process for each pinned
+// chunk and unpinning it. The next acquisition is issued before the
+// current chunk is processed, so the copy overlaps the fetch. Stops
+// early (without process) once the cluster fails.
+func (a *Array) rangePipeline(ctx *cluster.Ctx, ciLo, ciHi int64, want uint8, op OpID, process func(p *Pin)) {
+	var fn func(acc, operand uint64) uint64
+	if want == wantPinOperate {
+		fn = a.op(op).Fn
+	}
+	depth := int64(a.pipeline)
+	reqs := make([]*chunkReq, 0, depth)
+	next := ciLo
+	for int64(len(reqs)) < depth && next <= ciHi {
+		reqs = append(reqs, a.issueChunk(ctx, next, want, op, fn))
+		next++
+	}
+	for idx := 0; idx < len(reqs); idx++ {
+		p := a.awaitChunk(ctx, reqs[idx], want, op, fn)
+		reqs[idx] = nil
+		if next <= ciHi {
+			reqs = append(reqs, a.issueChunk(ctx, next, want, op, fn))
+			next++
+		}
+		if p == nil {
+			return // cluster failed; remaining tokens die with it
+		}
+		process(p)
+		p.Unpin(ctx)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sequential-access detector (fast-path speculative prefetch).
+
+// noteSeq feeds the detector with a fast-path touch of chunk ci. The
+// whole state is one packed word (chunk<<8 | streak) updated with a
+// single CAS; losing the CAS race means another thread observed an
+// access concurrently, and the observation is simply dropped — the
+// detector never blocks or retries on the fast path.
+func (a *Array) noteSeq(ctx *cluster.Ctx, ci int64) {
+	old := a.seq.Load()
+	last, streak := old>>8, old&0xff
+	if ci == last && streak != 0 {
+		return // repeat touch of the same chunk: no new information
+	}
+	var ns int64
+	if ci == last+1 && streak != 0 {
+		ns = streak + 1
+		if ns > 0xff {
+			ns = 0xff
+		}
+	} else {
+		ns = 1
+	}
+	if !a.seq.CompareAndSwap(old, ci<<8|ns) {
+		return // contention: drop silently
+	}
+	if ns >= 2 {
+		a.speculate(ctx, ci+1)
+	}
+}
+
+// speculate submits a speculative fetch of chunk ci to its owning
+// runtime. All checks here are advisory (the runtime dedups again in
+// prefetchChunk); the fast path only pays them after the detector has
+// already confirmed a streaming pattern.
+func (a *Array) speculate(ctx *cluster.Ctx, ci int64) {
+	if ci >= a.sh.nChunks || a.homeOfChunk(ci) == a.self() {
+		return
+	}
+	d := &a.dents[ci]
+	if statePerm(d.state.Load()) != permInvalid {
+		return // already resident; in-flight fetches dedup on the runtime
+	}
+	vt := ctx.Clock.Now()
+	a.rtOf(ci).Submit(func(rt *cluster.Runtime) {
+		a.prefetchChunk(rt, d, vt)
+	})
+}
+
+// notePrefetchHit attributes a fast-path hit to a speculative fill.
+// Called under telOn: the common case (no outstanding prefetch mark)
+// costs one atomic load.
+func (a *Array) notePrefetchHit(d *dentry) {
+	if d.pf.Load() && d.pf.CompareAndSwap(true, false) {
+		a.Metrics.PrefetchHits.Add(1)
+	}
+}

@@ -136,11 +136,22 @@ func (a *Array) respond(rt *cluster.Runtime, d *dentry, w *waiter, vt int64) {
 		d.refcnt.Add(1)
 		val = 1
 	}
+	if w.tok != nil {
+		w.tok.Complete(cluster.Resp{VT: vt, Val: val})
+		return
+	}
 	w.ctx.Complete(cluster.Resp{VT: vt, Val: val})
 }
 
 func maxi64(a, b int64) int64 {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini64(a, b int64) int64 {
+	if a < b {
 		return a
 	}
 	return b

@@ -96,6 +96,9 @@ func (a *Array) collectMetrics(emit telemetry.Emit) {
 		{"core/cache/evictions", &m.Evictions},
 		{"core/cache/writebacks", &m.WriteBacks},
 		{"core/cache/prefetches", &m.Prefetches},
+		{"core/prefetch/issued", &m.Prefetches},
+		{"core/prefetch/hits", &m.PrefetchHits},
+		{"core/prefetch/wasted", &m.PrefetchWasted},
 		{"core/cache/reclaim_sweeps", &m.ReclaimSweeps},
 		{"core/cache/reclaim_scanned", &m.ReclaimScanned},
 		{"core/cache/delay_stalls", &m.DelayStalls},

@@ -63,6 +63,14 @@ type Message struct {
 	Flag     bool
 	Data     []uint64 // chunk payload, if any
 
+	// Coal marks a destination-coalesced command: the Tx thread merged
+	// several adjacent payload-free protocol commands of the same kind to
+	// the same peer into one SEND. Chunk carries the first command's
+	// chunk; Data carries the remaining chunk indexes. The receiving
+	// node's Rx loop fans the message back out per chunk, so the protocol
+	// layers never see a coalesced message.
+	Coal bool
+
 	// VT is the virtual time at which the message is visible at the
 	// receiver. Senders set SendVT (their ready time); Post fills VT.
 	VT     int64

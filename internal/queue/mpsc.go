@@ -17,9 +17,14 @@ type node[T any] struct {
 // MPSC is an unbounded multi-producer single-consumer queue. Push is
 // lock-free and safe from any goroutine; Pop must only be called by one
 // consumer goroutine at a time.
+// head (hammered by producer Swaps) and tail (advanced by the consumer
+// every Pop) live on separate cache lines so producer bursts do not
+// steal the consumer's line and vice versa; parked/wake are shared by
+// design and stay with the consumer fields.
 type MPSC[T any] struct {
 	head atomic.Pointer[node[T]] // producers swap here
-	tail *node[T]                // consumer-owned
+	_    pad
+	tail *node[T] // consumer-owned
 	stub node[T]
 
 	// parked is 1 while the consumer is blocked in PopWait; producers

@@ -3,6 +3,7 @@ package queue
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -255,6 +256,70 @@ func TestSPSCQuickFIFO(t *testing.T) {
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// spscNoPad replicates SPSC without the cache-line padding, so the
+// contended benchmarks below measure the padding's effect directly
+// (run both and compare: go test -bench 'SPSCContended' ./internal/queue).
+type spscNoPad struct {
+	buf  []uint64
+	mask uint64
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+func (q *spscNoPad) TryPush(v uint64) bool {
+	t := q.tail.Load()
+	if t-q.head.Load() == uint64(len(q.buf)) {
+		return false
+	}
+	q.buf[t&q.mask] = v
+	q.tail.Store(t + 1)
+	return true
+}
+
+func (q *spscNoPad) TryPop() (uint64, bool) {
+	h := q.head.Load()
+	if h == q.tail.Load() {
+		return 0, false
+	}
+	v := q.buf[h&q.mask]
+	q.head.Store(h + 1)
+	return v, true
+}
+
+// benchSPSCContended streams b.N values through the ring with producer
+// and consumer on separate goroutines — the layout where false sharing
+// of head/tail shows up.
+func benchSPSCContended(b *testing.B, push func(uint64) bool, pop func() (uint64, bool)) {
+	done := make(chan uint64, 1)
+	n := uint64(b.N)
+	b.ResetTimer()
+	go func() {
+		var sum uint64
+		for got := uint64(0); got < n; {
+			if v, ok := pop(); ok {
+				sum += v
+				got++
+			}
+		}
+		done <- sum
+	}()
+	for i := uint64(0); i < n; i++ {
+		for !push(i) {
+		}
+	}
+	<-done
+}
+
+func BenchmarkSPSCContendedPadded(b *testing.B) {
+	q := NewSPSC[uint64](1024)
+	benchSPSCContended(b, q.TryPush, q.TryPop)
+}
+
+func BenchmarkSPSCContendedNoPad(b *testing.B) {
+	q := &spscNoPad{buf: make([]uint64, 1024), mask: 1023}
+	benchSPSCContended(b, q.TryPush, q.TryPop)
 }
 
 func BenchmarkMPSCPush(b *testing.B) {

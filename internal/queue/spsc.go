@@ -6,12 +6,26 @@ import "sync/atomic"
 // for per-queue-pair send rings in the simulated fabric (one producer:
 // the Tx thread; one consumer: the peer's Rx thread). Capacity must be
 // a power of two.
+//
+// head and tail sit on separate cache lines: the consumer writes head
+// every pop and the producer writes tail every push, so co-locating
+// them makes each side's store invalidate the other's line (false
+// sharing). The pads cost 128 bytes per ring — there is one ring per
+// queue pair, so the overhead is negligible next to the buffer.
 type SPSC[T any] struct {
 	buf  []T
 	mask uint64
+	_    pad           // keep head off the read-mostly buf/mask line
 	head atomic.Uint64 // next slot to pop (consumer)
+	_    pad
 	tail atomic.Uint64 // next slot to push (producer)
+	_    pad
 }
+
+// pad is one cache line of spacing. 64 bytes covers x86-64 and most
+// arm64 parts; adjacent-line prefetch pairs are not worth doubling it
+// here.
+type pad [64]byte
 
 // NewSPSC returns a ring with the given power-of-two capacity.
 func NewSPSC[T any](capacity int) *SPSC[T] {

@@ -19,6 +19,7 @@ type Model struct {
 	PostSend     int64   // CPU cost to post a work request (doorbell MMIO)
 	PollCQ       int64   // CPU cost to reap a signaled completion
 	SignalPeriod int64   // selective signaling period r (1 = always signal)
+	WQE          int64   // CPU cost to append one work request to an already-rung doorbell
 
 	// Node-side service times.
 	RPCService  int64   // runtime-thread service time per protocol message
@@ -47,6 +48,7 @@ func Default() *Model {
 		PostSend:     80,
 		PollCQ:       120,
 		SignalPeriod: 32,
+		WQE:          20,
 		RPCService:   250,
 		LockService:  120,
 		MemBPerNs:    8,
@@ -79,4 +81,26 @@ func (m *Model) SendCost() int64 {
 		p = 1
 	}
 	return m.PostSend + m.PollCQ/p
+}
+
+// ChainCost returns the sender-side CPU cost of one work request chained
+// onto an already-rung doorbell: the WQE is linked into the burst the Tx
+// thread is posting, so the MMIO doorbell write is not paid again; only
+// the WQE build and the selective-signaling completion share remain.
+func (m *Model) ChainCost() int64 {
+	p := m.SignalPeriod
+	if p < 1 {
+		p = 1
+	}
+	return m.WQE + m.PollCQ/p
+}
+
+// PostCost returns the cost of the i-th work request of a doorbell
+// burst: the leader rings the doorbell (SendCost), followers chain
+// (ChainCost). A burst of one is exactly the unbatched SendCost.
+func (m *Model) PostCost(leader bool) int64 {
+	if leader {
+		return m.SendCost()
+	}
+	return m.ChainCost()
 }
