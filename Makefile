@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json stream chaos check
+.PHONY: build test race vet bench bench-json bench-diff bufdebug stream chaos check
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,17 @@ bench:
 bench-json:
 	$(GO) run ./cmd/darray-bench -json-out BENCH_micro.json
 
+# Zero-copy ablation: the micro suite pooled vs NoPool side by side.
+# Virtual ns/op must match; allocs/op is the pool's payoff.
+bench-diff:
+	$(GO) run ./cmd/darray-bench -bench-diff -words-per-node 8192 -max-nodes 3
+
+# Buffer-misuse detection: -tags bufdebug arms double-release and
+# use-after-release panics and quarantines released buffers, so any
+# stale alias in the zero-copy data path trips deterministically.
+bufdebug:
+	$(GO) test -tags bufdebug -count=1 ./internal/buf/ ./internal/core/ ./internal/chaos/
+
 # Streaming smoke: the bulk-transfer pipeline, doorbell batching, and
 # coalescing tables at CI scale, plus the >=2x speedup gate.
 stream:
@@ -37,4 +48,4 @@ stream:
 chaos:
 	$(GO) test -run 'TestChaos' -count=1 ./internal/chaos/
 
-check: build vet test race stream chaos
+check: build vet test race stream chaos bufdebug

@@ -56,6 +56,8 @@ func main() {
 		pipeDepth  = flag.Int("pipeline", 0, "outstanding chunk fetches per bulk range (0 default, 1 or -1 serial)")
 		prefetch   = flag.Int("prefetch", 0, "chunks prefetched on a sequential miss (0 default, -1 disables prefetch and the detector)")
 		noCoalesce = flag.Bool("no-coalesce", false, "disable destination coalescing of coherence commands")
+		noPool     = flag.Bool("no-pool", false, "disable the zero-copy buffer pool (allocate-per-message ablation)")
+		benchDiff  = flag.Bool("bench-diff", false, "run the micro suite pooled and NoPool, print a ns/op and allocs/op comparison")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -111,6 +113,7 @@ func main() {
 	p.PipelineDepth = *pipeDepth
 	p.PrefetchAhead = *prefetch
 	p.DisableCoalesce = *noCoalesce
+	p.NoPool = *noPool
 	if *metricAddr != "" {
 		*metrics = true
 	}
@@ -168,6 +171,10 @@ func main() {
 		run(e)
 	case *jsonOut != "":
 		// -json-out alone runs just the micro suite (below).
+	case *benchDiff:
+		start := time.Now()
+		bench.MicroDiff(os.Stdout, p)
+		fmt.Printf("(bench-diff completed in %v wall time)\n", time.Since(start).Round(time.Millisecond))
 	default:
 		flag.Usage()
 		os.Exit(2)

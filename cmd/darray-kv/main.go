@@ -42,6 +42,7 @@ func main() {
 		pipeDepth  = flag.Int("pipeline", 0, "outstanding chunk fetches per bulk range (0 default, 1 or -1 serial)")
 		prefetch   = flag.Int("prefetch", 0, "chunks prefetched on a sequential miss (0 default, -1 disables prefetch and the detector)")
 		noCoalesce = flag.Bool("no-coalesce", false, "disable destination coalescing of coherence commands")
+		noPool     = flag.Bool("no-pool", false, "disable the zero-copy buffer pool (allocate-per-message ablation)")
 	)
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 		PipelineDepth:   *pipeDepth,
 		PrefetchAhead:   *prefetch,
 		DisableCoalesce: *noCoalesce,
+		NoPool:          *noPool,
 	}
 	var plan *fault.Plan
 	if *chaosOn {

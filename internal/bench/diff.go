@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// MicroDiff runs the micro suite twice — with the zero-copy buffer pool
+// on (as shipped) and with the NoPool ablation — and prints a
+// per-benchmark comparison of virtual ns/op and real allocs/op. The
+// ns/op columns should match (the vtime model charges identical costs
+// either way); the allocs/op column is the pool's payoff.
+func MicroDiff(w io.Writer, p Params) {
+	pooled := p
+	pooled.NoPool = false
+	ablated := p
+	ablated.NoPool = true
+
+	a := MicroJSON(pooled)
+	b := MicroJSON(ablated)
+
+	byName := make(map[string]MicroResult, len(b.Results))
+	for _, r := range b.Results {
+		byName[r.Name] = r
+	}
+
+	fmt.Fprintf(w, "%-28s %12s %12s %8s %12s %12s %8s\n",
+		"benchmark", "ns/op", "ns/op", "Δ%", "allocs/op", "allocs/op", "Δ%")
+	fmt.Fprintf(w, "%-28s %12s %12s %8s %12s %12s %8s\n",
+		"", "(pooled)", "(no pool)", "", "(pooled)", "(no pool)", "")
+	for _, pr := range a.Results {
+		nr, ok := byName[pr.Name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %12.2f %12.2f %7.1f%% %12.3f %12.3f %7.1f%%\n",
+			pr.Name,
+			pr.NsPerOp, nr.NsPerOp, pctDelta(pr.NsPerOp, nr.NsPerOp),
+			pr.AllocsPerOp, nr.AllocsPerOp, pctDelta(pr.AllocsPerOp, nr.AllocsPerOp))
+	}
+}
+
+// pctDelta returns how much `got` deviates from `base`, in percent.
+func pctDelta(got, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (got - base) / base * 100
+}

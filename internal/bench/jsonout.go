@@ -14,11 +14,17 @@ import (
 // MicroResult is one named measurement. NsPerOp and MopsPerSec are in
 // virtual time (the calibrated cost model); WallNsPerOp is the host
 // wall-clock cost per operation, meaningful only on an idle machine.
+// AllocsPerOp and BytesPerOp (schema v2) are heap-allocation deltas
+// (runtime.MemStats Mallocs/TotalAlloc) over the whole measurement —
+// including cluster setup, amortised over every operation — so they
+// track the real GC pressure a benchmark run produces.
 type MicroResult struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	MopsPerSec  float64 `json:"mops_per_sec"`
 	WallNsPerOp float64 `json:"wall_ns_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
 // MicroReport is the whole BENCH_micro.json document.
@@ -31,7 +37,23 @@ type MicroReport struct {
 	NumCPU       int           `json:"num_cpu"`
 	WordsPerNode int64         `json:"words_per_node"`
 	Nodes        int           `json:"nodes"`
+	NoPool       bool          `json:"no_pool,omitempty"`
 	Results      []MicroResult `json:"results"`
+}
+
+// measureAllocs runs fn (which reports its operation count) between two
+// MemStats snapshots and returns heap allocations and bytes per op.
+func measureAllocs(fn func() int64) (allocsPerOp, bytesPerOp float64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	ops := fn()
+	runtime.ReadMemStats(&after)
+	if ops <= 0 {
+		return 0, 0
+	}
+	return float64(after.Mallocs-before.Mallocs) / float64(ops),
+		float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
 }
 
 // MicroJSON runs the micro suite at p's scale and returns the report.
@@ -41,7 +63,7 @@ type MicroReport struct {
 func MicroJSON(p Params) MicroReport {
 	nodes := min(3, p.MaxNodes)
 	rep := MicroReport{
-		Schema:       "darray-bench-micro/v1",
+		Schema:       "darray-bench-micro/v2",
 		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:    runtime.Version(),
 		GOOS:         runtime.GOOS,
@@ -49,11 +71,17 @@ func MicroJSON(p Params) MicroReport {
 		NumCPU:       runtime.NumCPU(),
 		WordsPerNode: p.WordsPerNode,
 		Nodes:        nodes,
+		NoPool:       p.NoPool,
 	}
 	addSeq := func(name, system, op string, n int) {
-		r := runSeq(p, system, op, n, 1)
+		var r seqResult
+		allocs, bytes := measureAllocs(func() int64 {
+			r = runSeq(p, system, op, n, 1)
+			return r.ops
+		})
 		rep.Results = append(rep.Results, MicroResult{
 			Name: name, NsPerOp: r.meanNs(), MopsPerSec: r.mops(),
+			AllocsPerOp: allocs, BytesPerOp: bytes,
 		})
 	}
 	addSeq("seq-read/darray/1node", "darray", "read", 1)
@@ -63,15 +91,25 @@ func MicroJSON(p Params) MicroReport {
 	addSeq("seq-read/bcl", "bcl", "read", nodes)
 	addSeq("seq-write/darray", "darray", "write", nodes)
 	addSeq("seq-operate/darray", "darray", "operate", nodes)
+	var randNs float64
+	randAllocs, randBytes := measureAllocs(func() int64 {
+		randNs = runRandom(p, "darray", "read", nodes)
+		return int64(p.RandomOps) * int64(nodes)
+	})
 	rep.Results = append(rep.Results, MicroResult{
 		Name:    "random-read/darray",
-		NsPerOp: runRandom(p, "darray", "read", nodes),
+		NsPerOp: randNs, AllocsPerOp: randAllocs, BytesPerOp: randBytes,
 	})
 	addStream := func(name string, sc streamConfig) {
-		r := runStream(p, nodes, sc)
+		var r streamResult
+		allocs, bytes := measureAllocs(func() int64 {
+			r = runStream(p, nodes, sc)
+			return r.words
+		})
 		rep.Results = append(rep.Results, MicroResult{
 			Name: name, NsPerOp: r.nsPerOp(), MopsPerSec: r.mops(),
 			WallNsPerOp: r.wallNsPerOp(),
+			AllocsPerOp: allocs, BytesPerOp: bytes,
 		})
 	}
 	addStream("stream-getrange/serial", baselineStream(false))

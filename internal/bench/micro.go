@@ -47,6 +47,10 @@ type Params struct {
 	PipelineDepth   int
 	PrefetchAhead   int
 	DisableCoalesce bool
+
+	// NoPool disables the zero-copy buffer pool — the allocate-per-message
+	// ablation behind `make bench-diff`.
+	NoPool bool
 }
 
 // DefaultParams returns container-friendly sizes.
@@ -87,6 +91,7 @@ func (p Params) cluster(nodes int) *cluster.Cluster {
 		PipelineDepth:   p.PipelineDepth,
 		PrefetchAhead:   p.PrefetchAhead,
 		DisableCoalesce: p.DisableCoalesce,
+		NoPool:          p.NoPool,
 	})
 }
 

@@ -75,6 +75,7 @@ func runStream(p Params, nodes int, sc streamConfig) streamResult {
 		TxBurst:       sc.txBurst,
 		PrefetchAhead: sc.prefetch,
 		PipelineDepth: sc.pipeline,
+		NoPool:        p.NoPool,
 	}
 	cfg.DisableCoalesce = !sc.coalesce
 	if p.Faults != nil {

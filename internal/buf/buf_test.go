@@ -1,0 +1,131 @@
+package buf
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetReleaseCounters(t *testing.T) {
+	p := NewPool()
+	r := p.Get(100)
+	if got := r.Len(); got != 100 {
+		t.Fatalf("Len() = %d, want 100", got)
+	}
+	if len(r.Words()) != 100 {
+		t.Fatalf("len(Words()) = %d, want 100", len(r.Words()))
+	}
+	if p.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d, want 1", p.Outstanding())
+	}
+	if p.Misses() != 1 || p.Hits() != 0 {
+		t.Fatalf("hits/misses = %d/%d, want 0/1", p.Hits(), p.Misses())
+	}
+	r.Release()
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding after release = %d, want 0", p.Outstanding())
+	}
+}
+
+func TestClassReuse(t *testing.T) {
+	if debugQuarantine {
+		t.Skip("bufdebug quarantines released buffers; reuse is disabled by design")
+	}
+	p := NewPool()
+	r := p.Get(100)
+	words := r.Words()
+	words[0] = 42
+	r.Release()
+	// Same class (128 words), different requested length: the recycled
+	// backing array must be re-sliced, not reallocated.
+	r2 := p.Get(120)
+	if p.Hits() != 1 {
+		t.Fatalf("Hits = %d, want 1 (recycled buffer)", p.Hits())
+	}
+	if r2.Len() != 120 {
+		t.Fatalf("Len = %d, want 120", r2.Len())
+	}
+	r2.Release()
+}
+
+func TestRetainKeepsAlive(t *testing.T) {
+	p := NewPool()
+	r := p.Get(64)
+	r.Retain()
+	if p.Retained() != 1 {
+		t.Fatalf("Retained = %d, want 1", p.Retained())
+	}
+	r.Release()
+	// One reference remains: the buffer must still be live and outstanding.
+	if p.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d, want 1 (one ref held)", p.Outstanding())
+	}
+	r.Words()[0] = 7 // must not panic even under bufdebug
+	r.Release()
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d, want 0", p.Outstanding())
+	}
+}
+
+func TestOversizeIsRawAllocated(t *testing.T) {
+	p := NewPool()
+	huge := classSizes[len(classSizes)-1] + 1
+	r := p.Get(huge)
+	if r.class != -1 {
+		t.Fatalf("class = %d, want -1 (raw)", r.class)
+	}
+	if r.Len() != huge {
+		t.Fatalf("Len = %d, want %d", r.Len(), huge)
+	}
+	r.Release()
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d, want 0", p.Outstanding())
+	}
+}
+
+func TestNilRefIsSafe(t *testing.T) {
+	var r *Ref
+	r.Retain()
+	r.Release()
+	if r.Words() != nil || r.Len() != 0 {
+		t.Fatal("nil Ref must report empty buffer")
+	}
+}
+
+func TestGetNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(0) did not panic")
+		}
+	}()
+	NewPool().Get(0)
+}
+
+func TestConcurrentGetReleaseRetain(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r := p.Get(64 + (seed+i)%512)
+				w := r.Words()
+				w[0] = uint64(i)
+				if i%3 == 0 {
+					r.Retain()
+					r.Release()
+				}
+				if w[0] != uint64(i) {
+					t.Errorf("buffer clobbered while referenced")
+					r.Release()
+					return
+				}
+				r.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d, want 0 after quiescence", p.Outstanding())
+	}
+}

@@ -1,0 +1,19 @@
+//go:build !bufdebug
+
+package buf
+
+// Release builds: misuse hooks compile to nothing, refDebug adds no
+// state, and released buffers recycle normally.
+
+const debugQuarantine = false
+
+// Debug reports whether the package was built with -tags bufdebug
+// (misuse panics armed, released buffers quarantined — reuse off).
+const Debug = false
+
+type refDebug struct{}
+
+func (r *Ref) checkLive(string)    {}
+func (r *Ref) noteGet()            {}
+func (r *Ref) noteRelease()        {}
+func (r *Ref) releaseSite() string { return "" }

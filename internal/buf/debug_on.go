@@ -1,0 +1,52 @@
+//go:build bufdebug
+
+package buf
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Debug builds (-tags bufdebug): every Release records its call site,
+// released buffers are quarantined instead of recycled (so reuse can
+// never mask a stale alias), and any use of a dead buffer panics naming
+// the site that released it.
+
+const debugQuarantine = true
+
+// Debug reports whether the package was built with -tags bufdebug
+// (misuse panics armed, released buffers quarantined — reuse off).
+const Debug = true
+
+type refDebug struct {
+	released atomic.Value // string: "file:line" of the final Release
+}
+
+func callSite(skip int) string {
+	_, file, line, ok := runtime.Caller(skip)
+	if !ok {
+		return "unknown"
+	}
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+func (r *Ref) checkLive(op string) {
+	if r.refs.Load() <= 0 {
+		panic(fmt.Sprintf("buf: %s of a released buffer%s", op, r.releaseSite()))
+	}
+}
+
+func (r *Ref) noteGet() { r.dbg.released.Store("") }
+
+// noteRelease records the call site of the final Release. Caller depth:
+// noteRelease <- Release <- the leaking site.
+func (r *Ref) noteRelease() { r.dbg.released.Store(callSite(3)) }
+
+func (r *Ref) releaseSite() string {
+	s, _ := r.dbg.released.Load().(string)
+	if s == "" {
+		return ""
+	}
+	return " (released at " + s + ")"
+}

@@ -1,0 +1,72 @@
+//go:build bufdebug
+
+package buf
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanic runs fn and returns the panic message, failing if it
+// returns normally.
+func mustPanic(t *testing.T, fn func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		fn()
+	}()
+	if msg == "" {
+		t.Fatal("expected a panic")
+	}
+	return msg
+}
+
+func TestDoubleReleasePanicsWithSite(t *testing.T) {
+	p := NewPool()
+	r := p.Get(64)
+	r.Release()
+	msg := mustPanic(t, r.Release)
+	if !strings.Contains(msg, "double release") {
+		t.Fatalf("panic = %q, want double-release diagnosis", msg)
+	}
+	if !strings.Contains(msg, "released at") || !strings.Contains(msg, ".go:") {
+		t.Fatalf("panic = %q, want the leaking call site (file:line)", msg)
+	}
+}
+
+func TestUseAfterReleasePanics(t *testing.T) {
+	p := NewPool()
+	r := p.Get(64)
+	r.Release()
+	for name, fn := range map[string]func(){
+		"Words":  func() { r.Words() },
+		"Retain": func() { r.Retain() },
+	} {
+		msg := mustPanic(t, fn)
+		if !strings.Contains(msg, name+" of a released buffer") {
+			t.Fatalf("panic = %q, want %q use-after-release diagnosis", msg, name)
+		}
+		if !strings.Contains(msg, "released at") {
+			t.Fatalf("panic = %q, want releasing call site", msg)
+		}
+	}
+}
+
+func TestQuarantinePreventsReuse(t *testing.T) {
+	p := NewPool()
+	r := p.Get(64)
+	r.Release()
+	r2 := p.Get(64)
+	if r == r2 {
+		t.Fatal("released buffer was recycled despite bufdebug quarantine")
+	}
+	if p.Hits() != 0 {
+		t.Fatalf("Hits = %d, want 0 under quarantine", p.Hits())
+	}
+	r2.Release()
+}

@@ -47,6 +47,10 @@ type Config struct {
 	ChunkWords  int
 	CacheChunks int
 
+	// NoPool disables the zero-copy buffer pool (the allocate-per-message
+	// ablation). Results must be bit-identical either way.
+	NoPool bool
+
 	Out io.Writer // optional progress/trace output
 }
 
@@ -195,6 +199,7 @@ func runOnce(w Workload, cfg Config, plan *fault.Plan) (uint64, error) {
 		ChunkWords:     cfg.ChunkWords,
 		CacheChunks:    cfg.CacheChunks,
 		RuntimeThreads: 2,
+		NoPool:         cfg.NoPool,
 	})
 	fp, arrays := w.Run(c, cfg.Threads, cfg.Seed)
 	if err := c.Err(); err != nil {
@@ -202,9 +207,15 @@ func runOnce(w Workload, cfg Config, plan *fault.Plan) (uint64, error) {
 		return 0, fmt.Errorf("cluster degraded (the fault schedule must stay survivable): %w", err)
 	}
 	verr := validateArrays(arrays)
+	pool := c.BufPool()
 	c.Close()
 	if verr != nil {
 		return 0, verr
+	}
+	if pool != nil {
+		if n := pool.Outstanding(); n != 0 {
+			return 0, fmt.Errorf("buffer leak: %d pool buffers still referenced after close", n)
+		}
 	}
 	if err := waitDrained(before); err != nil {
 		return 0, err

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"darray/internal/buf"
 	"darray/internal/fabric"
 	"darray/internal/fault"
 	"darray/internal/telemetry"
@@ -53,6 +54,14 @@ type Config struct {
 	// bulk range operation keeps in flight (core.GetRange and friends).
 	// 1 or -1 restores the serial chunk-at-a-time slow path; default 8.
 	PipelineDepth int
+
+	// NoPool disables the zero-copy buffer pool (internal/buf) and every
+	// recycling discipline built on it — payloads, protocol messages,
+	// queue link nodes, waiters, completion tokens — reproducing the
+	// allocate-per-message behaviour bit-for-bit as the ablation
+	// baseline. Virtual-time results are identical either way; only real
+	// allocator traffic differs.
+	NoPool bool
 
 	// Telemetry optionally shares one metrics registry across clusters
 	// (the benchmark harness builds one cluster per data point); nil
@@ -111,6 +120,7 @@ type Cluster struct {
 	cfg   Config
 	fab   *fabric.Fabric
 	nodes []*Node
+	pool  *buf.Pool // nil when cfg.NoPool
 
 	bar barrier
 
@@ -142,10 +152,13 @@ func New(cfg Config) *Cluster {
 	cfg.fill()
 	c := &Cluster{
 		cfg:     cfg,
-		fab:     fabric.New(fabric.Config{Nodes: cfg.Nodes, Model: cfg.Model, Faults: cfg.Faults}),
+		fab:     fabric.New(fabric.Config{Nodes: cfg.Nodes, Model: cfg.Model, Faults: cfg.Faults, Pooled: !cfg.NoPool}),
 		collSeq: make(map[uint64]*collSlot),
 		tel:     cfg.Telemetry,
 		failCh:  make(chan struct{}),
+	}
+	if !cfg.NoPool {
+		c.pool = buf.NewPool()
 	}
 	if c.tel == nil {
 		c.tel = telemetry.New()
@@ -179,6 +192,16 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
 // Fabric exposes the underlying fabric (for stats and baselines).
 func (c *Cluster) Fabric() *fabric.Fabric { return c.fab }
+
+// BufPool returns the cluster's shared payload buffer pool, or nil when
+// the NoPool ablation is active. Systems built on the cluster lease
+// their outbound payloads here.
+func (c *Cluster) BufPool() *buf.Pool { return c.pool }
+
+// Detacher lets per-runtime attachments (Runtime.Attach values) release
+// pooled resources at cluster teardown: Close calls Detach on every
+// attachment implementing it, after all goroutines have stopped.
+type Detacher interface{ Detach() }
 
 // fail records the first fatal fabric error and unblocks every waiter.
 func (c *Cluster) fail(err error) {
@@ -227,6 +250,14 @@ func (c *Cluster) Close() {
 		for _, n := range c.nodes {
 			n.stopAll()
 		}
+		if c.pool != nil {
+			// All goroutines are stopped: return in-flight payloads and
+			// cached lines to the pool so Outstanding()==0 after a clean
+			// shutdown (the chaos leak check relies on this).
+			for _, n := range c.nodes {
+				n.drainResidual()
+			}
+		}
 		c.telMu.Lock()
 		handles := c.telHandles
 		c.telHandles = nil
@@ -266,6 +297,13 @@ func (c *Cluster) collectFabric(emit telemetry.Emit) {
 		per := make([]int64, node+1)
 		per[node] = v
 		emit(telemetry.Metric{Name: name, Kind: telemetry.KindCounter, PerNode: per})
+	}
+	if p := c.pool; p != nil {
+		// The pool is cluster-wide, not per node; report under node 0.
+		perNode("buf/pool/hit", 0, p.Hits())
+		perNode("buf/pool/miss", 0, p.Misses())
+		perNode("buf/pool/retained", 0, p.Retained())
+		perNode("buf/pool/outstanding", 0, p.Outstanding())
 	}
 	for i := 0; i < c.cfg.Nodes; i++ {
 		st := c.fab.Endpoint(i).Stats()
@@ -469,6 +507,7 @@ type Ctx struct {
 
 	resp chan Resp // reusable completion channel for slow-path waits
 	err  error     // first completion error observed by this thread
+	toks []*Token  // recycled completion tokens (pooled clusters only)
 }
 
 // Resp is the completion record a runtime goroutine sends back to a
@@ -530,6 +569,29 @@ func (t *Token) Wait() Resp {
 	case <-t.node.c.failCh:
 		return Resp{Err: t.node.c.failErr}
 	}
+}
+
+// AcquireToken returns a completion token, reusing one this thread
+// recycled earlier when possible.
+func (ctx *Ctx) AcquireToken() *Token {
+	if k := len(ctx.toks); k > 0 {
+		t := ctx.toks[k-1]
+		ctx.toks = ctx.toks[:k-1]
+		return t
+	}
+	return ctx.Node.NewToken()
+}
+
+// RecycleToken returns t to this thread's freelist for AcquireToken to
+// reuse. Only tokens whose Wait returned a real completion may be
+// recycled: after a cluster-failure Wait a runtime may still deliver
+// into the token's channel, and that stale completion must not be
+// mistaken for a future request's. No-op on NoPool clusters.
+func (ctx *Ctx) RecycleToken(t *Token) {
+	if ctx.Node.c.pool == nil {
+		return
+	}
+	ctx.toks = append(ctx.toks, t)
 }
 
 // Fail records the first error observed on this thread (completion

@@ -51,11 +51,15 @@ type Route struct {
 }
 
 func newNode(c *Cluster, id int) *Node {
+	newTxq := queue.NewMPSC[*fabric.Message]
+	if c.pool != nil {
+		newTxq = queue.NewMPSCPooled[*fabric.Message]
+	}
 	n := &Node{
 		id:     id,
 		c:      c,
 		ep:     c.fab.Endpoint(id),
-		txq:    queue.NewMPSC[*fabric.Message](),
+		txq:    newTxq(),
 		stop:   make(chan struct{}),
 		routes: make(map[uint32]Route),
 	}
@@ -123,6 +127,38 @@ func (n *Node) stopAll() {
 	n.wg.Wait()
 }
 
+// drainResidual returns pooled resources still sitting in the node's
+// queues to their pools and detaches per-runtime attachments. Only
+// valid after stopAll: it pops from queues whose consumers must be
+// dead. Without it, a message in flight at Close would count as a
+// leaked buffer.
+func (n *Node) drainResidual() {
+	for {
+		m, ok := n.txq.Pop()
+		if !ok {
+			break
+		}
+		m.Payload.Release()
+		fabric.FreeMessage(m)
+	}
+	n.ep.DrainRx()
+	for _, rt := range n.rts {
+		for {
+			it, ok := rt.rpcq.Pop()
+			if !ok {
+				break
+			}
+			it.msg.Payload.Release()
+			fabric.FreeMessage(it.msg)
+		}
+		for _, v := range rt.Attach {
+			if d, ok := v.(Detacher); ok {
+				d.Detach()
+			}
+		}
+	}
+}
+
 // txLoop is the dedicated transmit thread (paper §4.5): it drains the
 // RDMA-request queue and posts work requests, applying selective
 // signaling accounting via the model's SendCost, charged as the Tx
@@ -166,6 +202,12 @@ func (n *Node) txLoop() {
 				// budget. There is no caller to hand the completion to (the
 				// Tx thread is asynchronous), so mark the whole cluster
 				// failed: every blocked WaitResp unblocks with this error.
+				// The message was not delivered; its payload reference is
+				// ours to release.
+				if n.c.pool != nil {
+					m.Payload.Release()
+					fabric.FreeMessage(m)
+				}
 				n.c.fail(fmt.Errorf("node %d tx: %w", n.id, err))
 			}
 		}
@@ -186,11 +228,20 @@ func (n *Node) coalesce(burst []*fabric.Message) []*fabric.Message {
 			m.Kind == lead.Kind && len(m.Data) == 0 && !m.Coal &&
 			lr.Coalescible != nil && lr.Coalescible(m.Kind) {
 			lead.Coal = true
+			if n.c.pool != nil && lead.Payload == nil {
+				// Lease the absorbed-chunk index list at full burst
+				// capacity so the appends below stay inside the buffer.
+				lead.Payload = n.c.pool.Get(n.c.cfg.TxBurst)
+				lead.Data = lead.Payload.Words()[:0]
+			}
 			lead.Data = append(lead.Data, uint64(m.Chunk))
 			if m.SendVT > lead.SendVT {
 				lead.SendVT = m.SendVT
 			}
 			n.coalesced.Add(1)
+			if n.c.pool != nil {
+				fabric.FreeMessage(m) // absorbed; only its chunk index survives
+			}
 			continue
 		}
 		lead = m
@@ -227,14 +278,31 @@ func (n *Node) rxLoop() {
 		}
 		if m.Coal {
 			// Never mutate m itself: the sender's endpoint may still hold
-			// the same pointer for retransmission. Deliver copies.
-			lead := *m
-			lead.Coal, lead.Data = false, nil
-			n.deliver(r, &lead)
-			for _, ci := range m.Data {
-				cm := lead
-				cm.Chunk = int64(ci)
-				n.deliver(r, &cm)
+			// the same pointer for retransmission. Deliver copies, built
+			// from a template taken before the first delivery — once a
+			// copy is delivered a pooled runtime may free it concurrently.
+			tpl := *m
+			tpl.Coal, tpl.Data, tpl.Payload = false, nil, nil
+			if n.c.pool != nil {
+				lead := fabric.NewMessage()
+				*lead = tpl
+				n.deliver(r, lead)
+				for _, ci := range m.Data {
+					cm := fabric.NewMessage()
+					*cm = tpl
+					cm.Chunk = int64(ci)
+					n.deliver(r, cm)
+				}
+				m.Payload.Release() // the absorbed-chunk index list
+				fabric.FreeMessage(m)
+			} else {
+				lead := tpl
+				n.deliver(r, &lead)
+				for _, ci := range m.Data {
+					cm := tpl
+					cm.Chunk = int64(ci)
+					n.deliver(r, &cm)
+				}
 			}
 			continue
 		}
@@ -281,11 +349,17 @@ type Runtime struct {
 }
 
 func newRuntime(n *Node, idx int) *Runtime {
+	newLocalq := queue.NewMPSC[func(rt *Runtime)]
+	newRpcq := queue.NewMPSC[rpcItem]
+	if n.c.pool != nil {
+		newLocalq = queue.NewMPSCPooled[func(rt *Runtime)]
+		newRpcq = queue.NewMPSCPooled[rpcItem]
+	}
 	return &Runtime{
 		node:   n,
 		idx:    idx,
-		localq: queue.NewMPSC[func(rt *Runtime)](),
-		rpcq:   queue.NewMPSC[rpcItem](),
+		localq: newLocalq(),
+		rpcq:   newRpcq(),
 		Attach: make(map[uint32]any),
 		wake:   make(chan struct{}, 1),
 		stop:   make(chan struct{}),

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"darray/internal/buf"
+	"darray/internal/cluster"
+)
+
+// skipIfNotMeasurable skips allocation-delta tests in build modes whose
+// allocator traffic is not representative of a release build.
+func skipIfNotMeasurable(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("allocation measurement needs steady-state rounds")
+	}
+	if raceEnabled {
+		t.Skip("race-detector bookkeeping allocates; Mallocs deltas are not comparable")
+	}
+	if buf.Debug {
+		t.Skip("bufdebug quarantines released buffers; pooling is intentionally defeated")
+	}
+}
+
+// allocWorkload builds a 2-node cluster and has node 0 repeatedly sweep
+// node 1's partition, forcing every access through the cross-node miss
+// slow path (CacheChunks is far below the remote partition size, so
+// each round re-evicts and re-fetches). It reports heap allocations per
+// slow-path miss, measured around the steady-state phase only.
+func allocWorkload(t *testing.T, noPool bool, byRange bool) float64 {
+	t.Helper()
+	cfg := cluster.Config{Nodes: 2, ChunkWords: 64, CacheChunks: 8, NoPool: noPool}
+	c := cluster.New(cfg)
+	defer c.Close()
+
+	const chunks = 64 // per-node partition, words = 64*64
+	words := int64(cfg.ChunkWords) * chunks * int64(cfg.Nodes)
+	var allocsPerMiss float64
+	c.Run(func(n *cluster.Node) {
+		a := New(n, words)
+		if n.ID() != 0 {
+			return
+		}
+		ctx := n.NewCtx(0)
+		lo := words / 2 // start of node 1's partition
+		sweep := func() {
+			if byRange {
+				dst := make([]uint64, cfg.ChunkWords)
+				for i := lo; i < words; i += int64(cfg.ChunkWords) {
+					a.GetRange(ctx, i, dst)
+				}
+				return
+			}
+			for i := lo; i < words; i += 8 {
+				a.Get(ctx, i)
+			}
+		}
+		sweep() // warm up pools and lazily-built state
+
+		var before, after runtime.MemStats
+		missBase := ctx.Stats.Misses
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		for round := 0; round < 8; round++ {
+			sweep()
+		}
+		runtime.ReadMemStats(&after)
+		misses := ctx.Stats.Misses - missBase
+		if misses == 0 {
+			t.Fatal("workload produced no slow-path misses")
+		}
+		allocsPerMiss = float64(after.Mallocs-before.Mallocs) / float64(misses)
+	})
+	if err := c.Err(); err != nil {
+		t.Fatalf("cluster failed: %v", err)
+	}
+	return allocsPerMiss
+}
+
+// TestPooledAllocsGet asserts the pooled data path allocates at most
+// half as much per cross-node Get miss as the NoPool ablation — the
+// PR's headline regression gate.
+func TestPooledAllocsGet(t *testing.T) {
+	skipIfNotMeasurable(t)
+	pooled := allocWorkload(t, false, false)
+	noPool := allocWorkload(t, true, false)
+	t.Logf("Get: pooled %.2f allocs/miss, NoPool %.2f allocs/miss", pooled, noPool)
+	if pooled > 0.5*noPool {
+		t.Errorf("pooled Get path allocates %.2f/miss, want <= 50%% of NoPool (%.2f/miss)",
+			pooled, noPool)
+	}
+}
+
+// TestPooledAllocsGetRange asserts the same bound on the pipelined bulk
+// path, which additionally exercises token and chunk-request recycling.
+func TestPooledAllocsGetRange(t *testing.T) {
+	skipIfNotMeasurable(t)
+	pooled := allocWorkload(t, false, true)
+	noPool := allocWorkload(t, true, true)
+	t.Logf("GetRange: pooled %.2f allocs/miss, NoPool %.2f allocs/miss", pooled, noPool)
+	if pooled > 0.5*noPool {
+		t.Errorf("pooled GetRange path allocates %.2f/miss, want <= 50%% of NoPool (%.2f/miss)",
+			pooled, noPool)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"darray/internal/buf"
 	"darray/internal/cluster"
 	"darray/internal/fabric"
 	"darray/internal/telemetry"
@@ -37,6 +38,12 @@ type Array struct {
 	// reg is the owning cluster's telemetry registry; its enable flag
 	// gates the fast-path counters below (see telOn).
 	reg *telemetry.Registry
+
+	// pool is the cluster's payload buffer pool; pooled mirrors
+	// pool != nil for branch-friendly checks (see zerocopy.go). Nil/false
+	// under the Config.NoPool ablation.
+	pool   *buf.Pool
+	pooled bool
 
 	// Protocol counters (updated by runtime goroutines with atomics).
 	Metrics Metrics
@@ -95,6 +102,13 @@ type Metrics struct {
 	PinFast     atomic.Int64 // pins granted on the lock-free path
 	PinSlow     atomic.Int64 // pins that needed the runtime
 	Combines    atomic.Int64 // Operate combines into a local buffer
+
+	// Zero-copy data-path accounting (all zero under NoPool; see
+	// zerocopy.go for the lease/adopt/donate vocabulary).
+	Leases        atomic.Int64 // payload buffers leased from the pool
+	Adopts        atomic.Int64 // inbound grant buffers adopted as line backing
+	Donates       atomic.Int64 // line buffers donated as outbound payloads
+	PayloadCopies atomic.Int64 // pooled payloads that still required a copy
 }
 
 // Options configures construction beyond the defaults.
@@ -219,7 +233,8 @@ func buildShared(c *cluster.Cluster, n int64, opt Options) *shared {
 	for v := int64(0); v < nodes; v++ {
 		node := c.Node(int(v))
 		a := &Array{sh: sh, node: node, model: c.Model(), reg: c.Telemetry(),
-			pipeline: depth, seqTrig: seqTrig}
+			pipeline: depth, seqTrig: seqTrig,
+			pool: c.BufPool(), pooled: c.BufPool() != nil}
 		lo, hi := sh.starts[v]*cw, sh.starts[v+1]*cw
 		if hi > n {
 			hi = n

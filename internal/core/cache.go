@@ -1,13 +1,18 @@
 package core
 
 import (
+	"darray/internal/buf"
 	"darray/internal/cluster"
 )
 
-// cacheLine is one slot of a runtime thread's cache region.
+// cacheLine is one slot of a runtime thread's cache region. Pooled
+// arrays back lines lazily with refcounted pool buffers (usually by
+// adopting an inbound grant); NoPool lines carry a fixed slice for the
+// array's lifetime and ref stays nil.
 type cacheLine struct {
 	data  []uint64
-	owner *dentry // nil when free
+	ref   *buf.Ref // pooled backing, nil under NoPool or when unbacked
+	owner *dentry  // nil when free
 }
 
 // rtState is the per-(runtime goroutine, array) state: the runtime's
@@ -40,11 +45,28 @@ func newRTState(a *Array, rt *cluster.Runtime) *rtState {
 		locks:  make(map[int64]*lockState),
 	}
 	for i := range s.lines {
-		ln := &cacheLine{data: make([]uint64, a.sh.chunkWords)}
+		ln := &cacheLine{}
+		if !a.pooled {
+			ln.data = make([]uint64, a.sh.chunkWords)
+		}
 		s.lines[i] = ln
 		s.free = append(s.free, ln)
 	}
 	return s
+}
+
+// Detach releases every pooled line backing still held by this state's
+// cache region. The cluster calls it (via the Detacher interface)
+// during teardown so a cleanly closed cluster ends with zero
+// outstanding pool references.
+func (s *rtState) Detach() {
+	for _, ln := range s.lines {
+		if ln.ref != nil {
+			ln.ref.Release()
+			ln.ref = nil
+			ln.data = nil
+		}
+	}
 }
 
 func (a *Array) rstate(rt *cluster.Runtime) *rtState {
@@ -68,8 +90,14 @@ func (s *rtState) allocLine() *cacheLine {
 	return ln
 }
 
-// freeLine returns a line to the free list.
+// freeLine returns a line to the free list, dropping any pooled
+// backing (a donated buffer was already detached by takeLineData).
 func (s *rtState) freeLine(ln *cacheLine) {
+	if ln.ref != nil {
+		ln.ref.Release()
+		ln.ref = nil
+		ln.data = nil
+	}
 	ln.owner = nil
 	s.free = append(s.free, ln)
 }
@@ -135,17 +163,15 @@ func (a *Array) finishEvict(rt *cluster.Runtime, d *dentry, prevState uint32) {
 		// Shared lines evict silently; stale sharer bits at home are
 		// cleaned up by idempotent invalidations.
 	case permRW:
-		data := make([]uint64, len(d.data))
-		copy(data, d.data)
+		data, pay := a.takeLineData(d)
 		a.Metrics.WriteBacks.Add(1)
-		a.send(&fMsg{to: home, kind: msgWBData, chunk: ci, data: data,
+		a.send(&fMsg{to: home, kind: msgWBData, chunk: ci, data: data, pay: pay,
 			flag: true, vt: d.tvt})
 	case permOperated:
-		data := make([]uint64, len(d.data))
-		copy(data, d.data)
+		data, pay := a.takeLineData(d)
 		a.Metrics.OpFlushes.Add(1)
 		a.send(&fMsg{to: home, kind: msgOpFlush, chunk: ci, op: stateOp(prevState),
-			data: data, flag: true, vt: d.tvt})
+			data: data, pay: pay, flag: true, vt: d.tvt})
 	}
 	if d.pf.CompareAndSwap(true, false) {
 		a.Metrics.PrefetchWasted.Add(1)

@@ -118,7 +118,8 @@ func (a *Array) handleDataResp(rt *cluster.Runtime, d *dentry, m *fabric.Message
 	fill := svt + a.copyCost(len(m.Data))
 	a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
 		a.withLine(rt, d, func(rt *cluster.Runtime) {
-			copy(d.data, m.Data)
+			a.installGrant(d, m) // adopts the pooled payload when it can
+			a.recycleMsg(m)      // this handler owns m (see handleMsg)
 			d.state.Store(perm)
 			d.pending = false
 			d.tvt = maxi64(d.tvt, fill)
@@ -132,14 +133,19 @@ func (a *Array) handleDataResp(rt *cluster.Runtime, d *dentry, m *fabric.Message
 // operator's identity, draining any readers of a prior Shared copy
 // first.
 func (a *Array) handleOpGrant(rt *cluster.Runtime, d *dentry, m *fabric.Message, svt int64) {
-	op := a.op(OpID(m.OpID))
+	opid := OpID(m.OpID)
+	op := a.op(opid)
+	a.recycleMsg(m) // this handler owns m; all fields are consumed above
 	a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
 		a.withLine(rt, d, func(rt *cluster.Runtime) {
+			if a.pooled {
+				a.ensureLineData(d) // no inbound payload to adopt
+			}
 			id := op.Identity
 			for i := range d.data {
 				d.data[i] = id
 			}
-			d.state.Store(packState(permOperated, OpID(m.OpID)))
+			d.state.Store(packState(permOperated, opid))
 			d.pending = false
 			d.tvt = maxi64(d.tvt, svt)
 			a.completeWaiters(rt, d)
@@ -164,7 +170,11 @@ func (a *Array) completeWaiters(rt *cluster.Runtime, d *dentry) {
 	}
 	d.waiters = kept
 	if len(d.waiters) == 0 {
-		d.waiters = nil
+		if !a.pooled {
+			d.waiters = nil
+		}
+		// Pooled: keep the empty slice so the next miss on this chunk
+		// appends into retained capacity instead of reallocating.
 		return
 	}
 	if !d.pending && !d.busy {
@@ -211,11 +221,16 @@ func (a *Array) handleDowngrade(rt *cluster.Runtime, d *dentry, svt int64) {
 	d.busy = true
 	d.tvt = maxi64(d.tvt, svt)
 	a.demoteLocal(rt, d, permRead, func(rt *cluster.Runtime) {
-		data := make([]uint64, len(d.data))
+		// The line survives as a Shared copy, so the writeback cannot
+		// donate its buffer — this path genuinely copies in both modes.
+		data, pay := a.leasePayload(len(d.data))
 		copy(data, d.data)
+		if a.pooled {
+			a.Metrics.PayloadCopies.Add(1)
+		}
 		a.Metrics.WriteBacks.Add(1)
 		d.busy = false
-		a.send(&fMsg{to: home, kind: msgWBData, chunk: d.ci, data: data,
+		a.send(&fMsg{to: home, kind: msgWBData, chunk: d.ci, data: data, pay: pay,
 			vt: d.tvt + a.copyCost(len(data))})
 		a.drainDeferred(rt, d, d.ci)
 	})
@@ -234,12 +249,12 @@ func (a *Array) handleRecall(rt *cluster.Runtime, d *dentry, svt int64) {
 	d.busy = true
 	d.tvt = maxi64(d.tvt, svt)
 	a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
-		data := make([]uint64, len(d.data))
-		copy(data, d.data)
+		// The line dies: its buffer rides the writeback message home.
+		data, pay := a.takeLineData(d)
 		a.Metrics.WriteBacks.Add(1)
 		a.releaseLine(rt, d)
 		d.busy = false
-		a.send(&fMsg{to: home, kind: msgWBData, chunk: d.ci, data: data,
+		a.send(&fMsg{to: home, kind: msgWBData, chunk: d.ci, data: data, pay: pay,
 			vt: d.tvt + a.copyCost(len(data))})
 		a.drainDeferred(rt, d, d.ci)
 	})
@@ -261,12 +276,13 @@ func (a *Array) handleOpRecall(rt *cluster.Runtime, d *dentry, svt int64) {
 	d.busy = true
 	d.tvt = maxi64(d.tvt, svt)
 	a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
-		data := make([]uint64, len(d.data))
-		copy(data, d.data)
+		// Like handleRecall: the dying line's buffer becomes the flush
+		// payload.
+		data, pay := a.takeLineData(d)
 		a.Metrics.OpFlushes.Add(1)
 		a.releaseLine(rt, d)
 		d.busy = false
-		a.send(&fMsg{to: home, kind: msgOpFlush, chunk: d.ci, op: op, data: data,
+		a.send(&fMsg{to: home, kind: msgOpFlush, chunk: d.ci, op: op, data: data, pay: pay,
 			vt: d.tvt + a.copyCost(len(data))})
 		a.drainDeferred(rt, d, d.ci)
 	})

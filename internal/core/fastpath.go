@@ -157,7 +157,8 @@ func (a *Array) slowPath(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, op O
 		vt += m.SlowFixed
 	}
 	rt := a.rtOf(ci)
-	w := &waiter{ctx: ctx, want: want, op: op, vt: vt}
+	w := a.getWaiter()
+	*w = waiter{ctx: ctx, want: want, op: op, vt: vt}
 	rt.Submit(func(rt *cluster.Runtime) {
 		a.handleLocal(rt, d, ci, w)
 	})

@@ -114,7 +114,8 @@ func (a *Array) slowPathPin(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, o
 	if m := a.model; m != nil {
 		vt += m.SlowFixed
 	}
-	w := &waiter{ctx: ctx, want: want, op: op, vt: vt}
+	w := a.getWaiter()
+	*w = waiter{ctx: ctx, want: want, op: op, vt: vt}
 	a.rtOf(ci).Submit(func(rt *cluster.Runtime) {
 		a.handleLocal(rt, d, ci, w)
 	})

@@ -19,13 +19,16 @@ type chunkReq struct {
 	pin *Pin           // non-nil when the lock-free fast path granted
 }
 
-// issueChunk starts acquiring a pin on chunk ci without blocking: one
-// non-blocking fast-path attempt, then an asynchronous slow-path request
-// completing through a fresh token. A raised delay flag is not spun on —
-// the runtime is mid-transition and the slow path will queue behind it.
-func (a *Array) issueChunk(ctx *cluster.Ctx, ci int64, want uint8, op OpID, fn func(acc, operand uint64) uint64) *chunkReq {
+// issueChunkInto starts acquiring a pin on chunk ci without blocking:
+// one non-blocking fast-path attempt, then an asynchronous slow-path
+// request completing through a token from the ctx freelist. A raised
+// delay flag is not spun on — the runtime is mid-transition and the
+// slow path will queue behind it. r is caller-provided storage (the
+// pipeline reuses a fixed ring of requests instead of allocating one
+// per chunk).
+func (a *Array) issueChunkInto(ctx *cluster.Ctx, r *chunkReq, ci int64, want uint8, op OpID, fn func(acc, operand uint64) uint64) {
 	d := &a.dents[ci]
-	r := &chunkReq{ci: ci, d: d}
+	*r = chunkReq{ci: ci, d: d}
 	ctx.Stats.Ops++
 	if !d.delay.Load() {
 		d.refcnt.Add(1)
@@ -36,12 +39,12 @@ func (a *Array) issueChunk(ctx *cluster.Ctx, ci int64, want uint8, op OpID, fn f
 				a.notePrefetchHit(d)
 			}
 			r.pin = a.mkPin(d, ci, fn, op)
-			return r
+			return
 		}
 		d.refcnt.Add(-1)
 	}
 	if ctx.Err() != nil {
-		return r // tok stays nil; awaitChunk reports the failure
+		return // tok stays nil; awaitChunk reports the failure
 	}
 	ctx.Stats.Misses++
 	if a.telOn() {
@@ -51,12 +54,12 @@ func (a *Array) issueChunk(ctx *cluster.Ctx, ci int64, want uint8, op OpID, fn f
 	if m := a.model; m != nil {
 		vt += m.SlowFixed
 	}
-	r.tok = a.node.NewToken()
-	w := &waiter{ctx: ctx, tok: r.tok, want: want, op: op, vt: vt}
+	r.tok = ctx.AcquireToken()
+	w := a.getWaiter()
+	*w = waiter{ctx: ctx, tok: r.tok, want: want, op: op, vt: vt}
 	a.rtOf(ci).Submit(func(rt *cluster.Runtime) {
 		a.handleLocal(rt, d, ci, w)
 	})
-	return r
 }
 
 // awaitChunk blocks until r's acquisition completes and returns the pin,
@@ -72,10 +75,14 @@ func (a *Array) awaitChunk(ctx *cluster.Ctx, r *chunkReq, want uint8, op OpID, f
 	}
 	resp := r.tok.Wait()
 	if resp.Err != nil {
+		// Do not recycle the token: a failed wait may leave a late
+		// completion in its channel.
 		ctx.Fail(resp.Err)
 		return nil
 	}
 	ctx.Clock.AdvanceTo(resp.VT)
+	ctx.RecycleToken(r.tok)
+	r.tok = nil
 	if resp.Val == 1 {
 		// The runtime took the reference on our behalf.
 		if a.telOn() {
@@ -97,17 +104,23 @@ func (a *Array) rangePipeline(ctx *cluster.Ctx, ciLo, ciHi int64, want uint8, op
 		fn = a.op(op).Fn
 	}
 	depth := int64(a.pipeline)
-	reqs := make([]*chunkReq, 0, depth)
+	if n := ciHi - ciLo + 1; depth > n {
+		depth = n
+	}
+	// Fixed ring of request slots: slot (ci-ciLo)%depth is always free
+	// again by the time ci needs it, because completions are consumed in
+	// issue order.
+	reqs := make([]chunkReq, depth)
 	next := ciLo
-	for int64(len(reqs)) < depth && next <= ciHi {
-		reqs = append(reqs, a.issueChunk(ctx, next, want, op, fn))
+	for i := int64(0); i < depth; i++ {
+		a.issueChunkInto(ctx, &reqs[i], next, want, op, fn)
 		next++
 	}
-	for idx := 0; idx < len(reqs); idx++ {
-		p := a.awaitChunk(ctx, reqs[idx], want, op, fn)
-		reqs[idx] = nil
+	for ci := ciLo; ci <= ciHi; ci++ {
+		r := &reqs[(ci-ciLo)%depth]
+		p := a.awaitChunk(ctx, r, want, op, fn)
 		if next <= ciHi {
-			reqs = append(reqs, a.issueChunk(ctx, next, want, op, fn))
+			a.issueChunkInto(ctx, r, next, want, op, fn)
 			next++
 		}
 		if p == nil {

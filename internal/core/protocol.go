@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sync/atomic"
 
+	"darray/internal/buf"
 	"darray/internal/cluster"
 	"darray/internal/fabric"
 )
@@ -39,10 +40,19 @@ type fMsg struct {
 	val   uint64
 	flag  bool
 	data  []uint64
+	pay   *buf.Ref // pool buffer backing data; ownership moves with the send
 	vt    int64
 }
 
 func (a *Array) send(m *fMsg) {
+	if a.pooled {
+		fm := fabric.NewMessage()
+		fm.To, fm.Array, fm.Kind, fm.Chunk = m.to, a.sh.id, m.kind, m.chunk
+		fm.OpID, fm.Idx, fm.Val, fm.Flag = int32(m.op), m.idx, m.val, m.flag
+		fm.Data, fm.Payload, fm.SendVT = m.data, m.pay, m.vt
+		a.node.Send(fm)
+		return
+	}
 	a.node.Send(&fabric.Message{
 		To: m.to, Array: a.sh.id, Kind: m.kind, Chunk: m.chunk,
 		OpID: int32(m.op), Idx: m.idx, Val: m.val, Flag: m.flag,
@@ -72,10 +82,19 @@ func (a *Array) self() int { return a.node.ID() }
 
 // handleMsg is the Rx route target: it runs on the runtime goroutine
 // owning m.Chunk.
+//
+// Message lifecycle: every handler except the two grant installers is
+// synchronous — any data it needs from m is consumed before it returns
+// (serveHome copies the request fields; handleWBData and handleOpFlush
+// copy/merge the payload into the home region inline) — so m is
+// recycled here on return. msgDataResp/msgOpGrant may stall (line
+// allocation, reference drain) with m captured by the continuation;
+// those handlers own m and recycle it once the install completes.
 func (a *Array) handleMsg(rt *cluster.Runtime, m *fabric.Message) {
 	switch m.Kind {
 	case msgLockReq, msgLockGrant, msgUnlock:
 		a.handleLockMsg(rt, m)
+		a.recycleMsg(m)
 		return
 	}
 	d := &a.dents[m.Chunk]
@@ -90,8 +109,10 @@ func (a *Array) handleMsg(rt *cluster.Runtime, m *fabric.Message) {
 		a.serveHome(rt, d, homeReq{from: m.From, want: wantOperate, op: OpID(m.OpID), vt: svt})
 	case msgDataResp:
 		a.handleDataResp(rt, d, m, svt)
+		return // the install continuation recycles m
 	case msgOpGrant:
 		a.handleOpGrant(rt, d, m, svt)
+		return // the install continuation recycles m
 	case msgInvalidate:
 		a.handleInvalidate(rt, d, m, svt)
 	case msgInvAck:
@@ -109,6 +130,7 @@ func (a *Array) handleMsg(rt *cluster.Runtime, m *fabric.Message) {
 	default:
 		panic(fmt.Sprintf("core: unknown message kind %d", m.Kind))
 	}
+	a.recycleMsg(m)
 }
 
 // handleLocal is the runtime-side entry for a local slow-path request.
@@ -136,11 +158,13 @@ func (a *Array) respond(rt *cluster.Runtime, d *dentry, w *waiter, vt int64) {
 		d.refcnt.Add(1)
 		val = 1
 	}
-	if w.tok != nil {
-		w.tok.Complete(cluster.Resp{VT: vt, Val: val})
+	tok, ctx := w.tok, w.ctx
+	a.putWaiter(w) // every slow-path waiter is released exactly here
+	if tok != nil {
+		tok.Complete(cluster.Resp{VT: vt, Val: val})
 		return
 	}
-	w.ctx.Complete(cluster.Resp{VT: vt, Val: val})
+	ctx.Complete(cluster.Resp{VT: vt, Val: val})
 }
 
 func maxi64(a, b int64) int64 {
@@ -336,11 +360,14 @@ func (a *Array) homeFinish(rt *cluster.Runtime, d *dentry, r homeReq) {
 }
 
 // grantData replies to a remote requester with a copy of the chunk.
+// Home storage is a contiguous registered region, so the copy out of it
+// stays (and is charged) in both modes; pooling only recycles the
+// buffer the copy lands in.
 func (a *Array) grantData(rt *cluster.Runtime, d *dentry, r homeReq, perm uint32) {
-	data := make([]uint64, len(d.data))
+	data, pay := a.leasePayload(len(d.data))
 	copy(data, d.data)
 	a.send(&fMsg{to: r.from, kind: msgDataResp, chunk: d.ci, val: uint64(perm),
-		data: data, vt: d.tvt + a.copyCost(len(data))})
+		data: data, pay: pay, vt: d.tvt + a.copyCost(len(data))})
 	a.homeDone(rt, d)
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector is active. Allocation
+// regression tests are skipped under it: the detector's shadow-memory
+// bookkeeping allocates on its own, distorting Mallocs deltas.
+const raceEnabled = true

@@ -113,6 +113,10 @@ func (a *Array) collectMetrics(emit telemetry.Emit) {
 		{"core/coherence/invalidations", &m.Invals},
 		{"core/coherence/recalls", &m.Recalls},
 		{"core/coherence/downgrades", &m.Downgrades},
+		{"core/alloc/lease", &m.Leases},
+		{"core/alloc/adopt", &m.Adopts},
+		{"core/alloc/donate", &m.Donates},
+		{"core/alloc/copy", &m.PayloadCopies},
 	} {
 		emit(counterMetric(c.name, node, c.v))
 	}

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"darray/internal/buf"
 	"darray/internal/fault"
 	"darray/internal/queue"
 	"darray/internal/telemetry"
@@ -63,6 +64,15 @@ type Message struct {
 	Flag     bool
 	Data     []uint64 // chunk payload, if any
 
+	// Payload, when non-nil, is the refcounted pool buffer backing Data
+	// (the simulated registered MR the payload lives in). The message
+	// owns one reference: posting transfers it to the receiver, which
+	// either releases it after copying or adopts the buffer outright.
+	// Duplicate deliveries on a lossy wire retain an extra reference
+	// instead of copying the words. Nil means Data is GC-managed (NoPool
+	// mode, payload-free messages, and foreign protocol layers).
+	Payload *buf.Ref
+
 	// Coal marks a destination-coalesced command: the Tx thread merged
 	// several adjacent payload-free protocol commands of the same kind to
 	// the same peer into one SEND. Chunk carries the first command's
@@ -86,6 +96,24 @@ const msgHeaderBytes = 64 // wire size of a payload-free protocol message
 
 // Bytes returns the message's wire size.
 func (m *Message) Bytes() int { return msgHeaderBytes + 8*len(m.Data) }
+
+// msgPool recycles Message structs across the whole process. Only
+// pooled fabrics (Config.Pooled) allocate from and free to it, so a
+// NoPool configuration keeps today's allocate-per-message behaviour
+// untouched.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// NewMessage returns a zeroed Message from the process-wide pool. The
+// caller owns it until it is posted; the consumer frees it with
+// FreeMessage after releasing or adopting any Payload.
+func NewMessage() *Message { return msgPool.Get().(*Message) }
+
+// FreeMessage recycles m. The caller must have released (or taken over)
+// m.Payload first and must not touch m afterwards.
+func FreeMessage(m *Message) {
+	*m = Message{}
+	msgPool.Put(m)
+}
 
 // MaxMsgKinds bounds the per-kind message counters; protocol kinds are
 // small consecutive integers (core uses 15), so 32 leaves headroom.
@@ -176,6 +204,13 @@ type Config struct {
 	Nodes  int
 	Model  *vtime.Model // nil disables virtual-time charging
 	Faults *fault.Plan  // nil means a perfect wire (no injection, zero overhead)
+
+	// Pooled arms the zero-copy disciplines: receive queues recycle
+	// their link nodes, duplicate deliveries share the payload buffer by
+	// refcount instead of copying, and discarded duplicates are returned
+	// to the message pool. Off, the fabric behaves exactly as before —
+	// the ablation baseline.
+	Pooled bool
 }
 
 // Fabric connects Nodes endpoints.
@@ -190,12 +225,16 @@ func New(cfg Config) *Fabric {
 		panic("fabric: Nodes must be positive")
 	}
 	f := &Fabric{cfg: cfg}
+	newRx := queue.NewMPSC[*Message]
+	if cfg.Pooled {
+		newRx = queue.NewMPSCPooled[*Message]
+	}
 	f.eps = make([]*Endpoint, cfg.Nodes)
 	for i := range f.eps {
 		f.eps[i] = &Endpoint{
 			fab:       f,
 			id:        i,
-			rx:        queue.NewMPSC[*Message](),
+			rx:        newRx(),
 			tx:        make([]vtime.Resource, cfg.Nodes),
 			txSeq:     make([]uint32, cfg.Nodes),
 			txLastVT:  make([]int64, cfg.Nodes),
@@ -317,12 +356,25 @@ func (e *Endpoint) Post(m *Message) error {
 	e.linkBytes[m.To].Observe(int64(m.Bytes()))
 	m.wireSeq = e.txSeq[m.To]
 	e.txSeq[m.To]++
-	dst.rx.Push(m)
+	// The duplicate copy must be taken (and the payload retained) before
+	// m is pushed: a pooled receiver may consume, release, and recycle m
+	// the instant it is visible.
+	var dupMsg *Message
 	if dup {
 		// The wire delivered the packet twice; the receiver's QP state
 		// discards the copy by sequence number (see accept).
-		d := *m
-		dst.rx.Push(&d)
+		if e.fab.cfg.Pooled {
+			dupMsg = NewMessage()
+			*dupMsg = *m
+			m.Payload.Retain()
+		} else {
+			d := *m
+			dupMsg = &d
+		}
+	}
+	dst.rx.Push(m)
+	if dupMsg != nil {
+		dst.rx.Push(dupMsg)
 	}
 	return nil
 }
@@ -386,6 +438,15 @@ func (e *Endpoint) accept(m *Message) bool {
 	}
 }
 
+// discard drops a suppressed duplicate, returning its payload reference
+// and Message struct to the pools when the fabric is pooled.
+func (e *Endpoint) discard(m *Message) {
+	if e.fab.cfg.Pooled {
+		m.Payload.Release()
+		FreeMessage(m)
+	}
+}
+
 // Poll retrieves one received message without blocking. Duplicate
 // deliveries from a lossy wire are discarded here, invisible to callers.
 func (e *Endpoint) Poll() (*Message, bool) {
@@ -397,6 +458,7 @@ func (e *Endpoint) Poll() (*Message, bool) {
 		if e.accept(m) {
 			return m, true
 		}
+		e.discard(m)
 	}
 }
 
@@ -409,6 +471,24 @@ func (e *Endpoint) PollWait() (*Message, bool) {
 		}
 		if e.accept(m) {
 			return m, true
+		}
+		e.discard(m)
+	}
+}
+
+// DrainRx empties the receive queue, releasing pooled payload
+// references still in flight. It bypasses the QP sequence check, so it
+// must only be called after the endpoint's Rx consumer has stopped —
+// it is teardown plumbing for the pool leak check, not a receive path.
+func (e *Endpoint) DrainRx() {
+	for {
+		m, ok := e.rx.Pop()
+		if !ok {
+			return
+		}
+		if e.fab.cfg.Pooled {
+			m.Payload.Release()
+			FreeMessage(m)
 		}
 	}
 }

@@ -7,7 +7,10 @@
 // exchange, the single consumer pops without atomics on the hot path.
 package queue
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 type node[T any] struct {
 	next atomic.Pointer[node[T]]
@@ -31,6 +34,10 @@ type MPSC[T any] struct {
 	// that observe the transition signal wake.
 	parked atomic.Int32
 	wake   chan struct{}
+
+	// nodes, when non-nil, recycles dequeued link nodes instead of
+	// leaving them to the GC (see NewMPSCPooled).
+	nodes *sync.Pool
 }
 
 // NewMPSC returns an empty queue ready for use.
@@ -41,9 +48,28 @@ func NewMPSC[T any]() *MPSC[T] {
 	return q
 }
 
+// NewMPSCPooled returns an empty queue that recycles its link nodes
+// through a sync.Pool, avoiding one heap allocation per Push. Safe
+// because a vacated node is recycled only by the single consumer, after
+// it has observed the node's published successor — at that point the
+// producer that swapped the node out of head has finished its only
+// write to it, and Push re-initialises next before re-publishing.
+func NewMPSCPooled[T any]() *MPSC[T] {
+	q := NewMPSC[T]()
+	q.nodes = &sync.Pool{New: func() any { return new(node[T]) }}
+	return q
+}
+
 // Push enqueues v. It never blocks.
 func (q *MPSC[T]) Push(v T) {
-	n := &node[T]{val: v}
+	var n *node[T]
+	if q.nodes != nil {
+		n = q.nodes.Get().(*node[T])
+		n.next.Store(nil)
+	} else {
+		n = new(node[T])
+	}
+	n.val = v
 	prev := q.head.Swap(n)
 	prev.next.Store(n)
 	if q.parked.Load() == 1 && q.parked.CompareAndSwap(1, 0) {
@@ -63,6 +89,9 @@ func (q *MPSC[T]) Pop() (v T, ok bool) {
 	v = next.val
 	var zero T
 	next.val = zero // drop reference for GC
+	if q.nodes != nil && tail != &q.stub {
+		q.nodes.Put(tail)
+	}
 	return v, true
 }
 
