@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-diff bufdebug stream chaos check
+.PHONY: build test race vet bench bench-json bench-diff bufdebug stream chaos trace check
 
 build:
 	$(GO) build ./...
@@ -48,4 +48,13 @@ stream:
 chaos:
 	$(GO) test -run 'TestChaos' -count=1 ./internal/chaos/
 
-check: build vet test race stream chaos bufdebug
+# Tracing smoke: a small traced KVS workload exports a Perfetto-loadable
+# trace, the analyzer reloads it, and the acceptance tests verify that
+# the exported JSON parses, every non-root span links to a live parent,
+# and the critical path covers >= 95% of the slowest root op.
+trace:
+	$(GO) run ./cmd/darray-kv -nodes 3 -threads 1 -records 2048 -ops 500 -trace-out $(or $(TMPDIR),/tmp)/darray-trace-smoke.json
+	$(GO) run ./cmd/darray-trace $(or $(TMPDIR),/tmp)/darray-trace-smoke.json
+	$(GO) test -run 'TestAcceptance' -count=1 ./internal/trace/
+
+check: build vet test race stream chaos bufdebug trace

@@ -30,6 +30,7 @@ import (
 	"darray/internal/chaos"
 	"darray/internal/fault"
 	"darray/internal/telemetry"
+	"darray/internal/trace"
 )
 
 func main() {
@@ -60,6 +61,8 @@ func main() {
 		benchDiff  = flag.Bool("bench-diff", false, "run the micro suite pooled and NoPool, print a ns/op and allocs/op comparison")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		traceOut   = flag.String("trace-out", "", "record causal spans and write a Perfetto-loadable Chrome trace to this file")
+		traceEvery = flag.Int("trace-sample", 1, "with -trace-out, sample every Nth public op as a trace root")
 	)
 	flag.Parse()
 
@@ -116,6 +119,12 @@ func main() {
 	p.NoPool = *noPool
 	if *metricAddr != "" {
 		*metrics = true
+	}
+	var trc *trace.Tracer
+	if *traceOut != "" {
+		trc = trace.New(0)
+		trc.Enable(*traceEvery)
+		p.Tracer = trc
 	}
 	if *metrics {
 		reg := telemetry.New()
@@ -189,6 +198,16 @@ func main() {
 		fmt.Printf("wrote %s (micro suite, %v wall time)\n", *jsonOut, time.Since(start).Round(time.Millisecond))
 	}
 
+	if trc != nil {
+		if err := trc.WriteFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		spans := trc.Spans()
+		fmt.Printf("# trace\nwrote %s (%d spans; load in https://ui.perfetto.dev)\n%s\n",
+			*traceOut, len(spans), trace.Summarize(spans))
+		fmt.Println(trc.StageReport())
+	}
 	if p.Telemetry != nil {
 		snap := p.Telemetry.Snapshot().NonZero()
 		if *metricsFmt == "json" {

@@ -20,6 +20,7 @@ import (
 	"darray/internal/fault"
 	"darray/internal/gemini"
 	"darray/internal/graph"
+	"darray/internal/trace"
 	"darray/internal/vtime"
 )
 
@@ -41,6 +42,8 @@ func main() {
 		prefetch   = flag.Int("prefetch", 0, "chunks prefetched on a sequential miss (0 default, -1 disables prefetch and the detector)")
 		noCoalesce = flag.Bool("no-coalesce", false, "disable destination coalescing of coherence commands")
 		noPool     = flag.Bool("no-pool", false, "disable the zero-copy buffer pool (allocate-per-message ablation)")
+		traceOut   = flag.String("trace-out", "", "record causal spans and write a Perfetto-loadable Chrome trace to this file (enables the virtual-time model)")
+		traceEvery = flag.Int("trace-sample", 1, "with -trace-out, sample every Nth public op as a trace root")
 	)
 	flag.Parse()
 
@@ -65,6 +68,15 @@ func main() {
 		cfg.Model = vtime.Default()
 		fmt.Printf("chaos: fault injection on, seed=%d\n", *chaosSeed)
 	}
+	var trc *trace.Tracer
+	if *traceOut != "" {
+		trc = trace.New(0)
+		trc.Enable(*traceEvery)
+		cfg.Tracer = trc
+		if cfg.Model == nil {
+			cfg.Model = vtime.Default() // spans need virtual time
+		}
+	}
 	c := cluster.New(cfg)
 	defer c.Close()
 
@@ -84,6 +96,16 @@ func main() {
 	fmt.Printf("%s\nwall time: %v\n", <-summary, time.Since(start).Round(time.Millisecond))
 	if *metrics {
 		fmt.Print(c.MetricsReport())
+	}
+	if trc != nil {
+		if err := trc.WriteFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		spans := trc.Spans()
+		fmt.Printf("# trace\nwrote %s (%d spans; load in https://ui.perfetto.dev)\n%s\n",
+			*traceOut, len(spans), trace.Summarize(spans))
+		fmt.Println(trc.StageReport())
 	}
 	if plan != nil {
 		fmt.Printf("chaos: seed=%d %s\n", *chaosSeed, plan.Stats())

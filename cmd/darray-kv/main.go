@@ -21,6 +21,7 @@ import (
 	"darray/internal/gamkvs"
 	"darray/internal/kvs"
 	"darray/internal/stats"
+	"darray/internal/trace"
 	"darray/internal/vtime"
 	"darray/internal/ycsb"
 )
@@ -43,6 +44,8 @@ func main() {
 		prefetch   = flag.Int("prefetch", 0, "chunks prefetched on a sequential miss (0 default, -1 disables prefetch and the detector)")
 		noCoalesce = flag.Bool("no-coalesce", false, "disable destination coalescing of coherence commands")
 		noPool     = flag.Bool("no-pool", false, "disable the zero-copy buffer pool (allocate-per-message ablation)")
+		traceOut   = flag.String("trace-out", "", "record causal spans and write a Perfetto-loadable Chrome trace to this file (enables the virtual-time model)")
+		traceEvery = flag.Int("trace-sample", 1, "with -trace-out, sample every Nth public op as a trace root")
 	)
 	flag.Parse()
 
@@ -62,6 +65,15 @@ func main() {
 		clcfg.Faults = plan
 		clcfg.Model = vtime.Default()
 		fmt.Printf("chaos: fault injection on, seed=%d\n", *chaosSeed)
+	}
+	var trc *trace.Tracer
+	if *traceOut != "" {
+		trc = trace.New(0)
+		trc.Enable(*traceEvery)
+		clcfg.Tracer = trc
+		if clcfg.Model == nil {
+			clcfg.Model = vtime.Default() // spans need virtual time
+		}
 	}
 	c := cluster.New(clcfg)
 	defer c.Close()
@@ -149,6 +161,16 @@ func main() {
 		time.Duration(lat.Max()))
 	if *metrics {
 		fmt.Print(c.MetricsReport())
+	}
+	if trc != nil {
+		if err := trc.WriteFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		spans := trc.Spans()
+		fmt.Printf("# trace\nwrote %s (%d spans; load in https://ui.perfetto.dev)\n%s\n",
+			*traceOut, len(spans), trace.Summarize(spans))
+		fmt.Println(trc.StageReport())
 	}
 	if plan != nil {
 		fmt.Printf("chaos: seed=%d %s\n", *chaosSeed, plan.Stats())

@@ -1,0 +1,59 @@
+// Command darray-trace analyzes an exported trace file (produced with
+// -trace-out on darray-bench, darray-kv, or darray-graph): it reloads
+// the spans from the Chrome trace-event JSON and prints the per-stage
+// latency decomposition and critical-path report without needing the
+// Perfetto UI.
+//
+//	darray-trace trace.json             # digest: stage table + longest root
+//	darray-trace -roots trace.json      # list every sampled root op
+//	darray-trace -crit 12 trace.json    # critical path of the Nth root
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"darray/internal/trace"
+)
+
+func main() {
+	var (
+		roots = flag.Bool("roots", false, "list every root span instead of the digest")
+		crit  = flag.Int("crit", -1, "print the critical path of the Nth root (0-based, in recording order)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: darray-trace [-roots] [-crit N] <trace.json>\n")
+		os.Exit(2)
+	}
+
+	spans, err := trace.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(spans) == 0 {
+		fmt.Println("no spans in file")
+		return
+	}
+
+	switch {
+	case *roots:
+		for i, r := range trace.Roots(spans) {
+			fmt.Printf("%4d  %s\n", i, r)
+		}
+	case *crit >= 0:
+		rs := trace.Roots(spans)
+		if *crit >= len(rs) {
+			fmt.Fprintf(os.Stderr, "root %d out of range: file has %d roots\n", *crit, len(rs))
+			os.Exit(1)
+		}
+		cp := trace.CriticalPath(spans, rs[*crit])
+		fmt.Print(cp.Report())
+		fmt.Printf("coverage: %.1f%% of root virtual time attributed\n", 100*cp.Coverage())
+	default:
+		fmt.Printf("%d spans, %d roots\n\n", len(spans), len(trace.Roots(spans)))
+		fmt.Println(trace.Summarize(spans))
+	}
+}

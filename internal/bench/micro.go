@@ -10,6 +10,7 @@ import (
 	"darray/internal/gam"
 	"darray/internal/stats"
 	"darray/internal/telemetry"
+	"darray/internal/trace"
 	"darray/internal/vtime"
 )
 
@@ -51,6 +52,11 @@ type Params struct {
 	// NoPool disables the zero-copy buffer pool — the allocate-per-message
 	// ablation behind `make bench-diff`.
 	NoPool bool
+
+	// Tracer, when non-nil, is attached to every cluster the experiments
+	// build so sampled ops record causal span trees (the -trace-out flag
+	// wires this up). Enable it (trace.Tracer.Enable) before running.
+	Tracer *trace.Tracer
 }
 
 // DefaultParams returns container-friendly sizes.
@@ -92,6 +98,7 @@ func (p Params) cluster(nodes int) *cluster.Cluster {
 		PrefetchAhead:   p.PrefetchAhead,
 		DisableCoalesce: p.DisableCoalesce,
 		NoPool:          p.NoPool,
+		Tracer:          p.Tracer,
 	})
 }
 

@@ -22,6 +22,7 @@ import (
 	"darray/internal/fabric"
 	"darray/internal/fault"
 	"darray/internal/telemetry"
+	"darray/internal/trace"
 	"darray/internal/vtime"
 )
 
@@ -67,6 +68,11 @@ type Config struct {
 	// (the benchmark harness builds one cluster per data point); nil
 	// gives this cluster a private registry.
 	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, receives causal spans from the systems built
+	// on this cluster (internal/trace). It starts disabled unless the
+	// caller has Enabled it; attached-but-disabled costs one atomic load
+	// per public op.
+	Tracer *trace.Tracer
 	// Metrics enables telemetry collection from startup. When false the
 	// instrumented fast paths pay only an atomic-load guard.
 	Metrics bool
@@ -167,6 +173,9 @@ func New(cfg Config) *Cluster {
 		c.tel.Enable()
 	}
 	c.AddMetricsCollector(c.collectFabric)
+	if cfg.Tracer != nil {
+		c.AddMetricsCollector(cfg.Tracer.Collector())
+	}
 	c.bar.parties = cfg.Nodes
 	c.nodes = make([]*Node, cfg.Nodes)
 	for i := range c.nodes {
@@ -270,6 +279,10 @@ func (c *Cluster) Close() {
 
 // Telemetry returns the cluster's metrics registry.
 func (c *Cluster) Telemetry() *telemetry.Registry { return c.tel }
+
+// Tracer returns the cluster's causal tracer, or nil when none is
+// attached.
+func (c *Cluster) Tracer() *trace.Tracer { return c.cfg.Tracer }
 
 // AddMetricsCollector registers a snapshot-time metrics source whose
 // lifetime is bound to this cluster: Close folds its final values into

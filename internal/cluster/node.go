@@ -235,6 +235,14 @@ func (n *Node) coalesce(burst []*fabric.Message) []*fabric.Message {
 				lead.Data = lead.Payload.Words()[:0]
 			}
 			lead.Data = append(lead.Data, uint64(m.Chunk))
+			if m.Trace != 0 || lead.CoalTC != nil {
+				// Keep CoalTC parallel to Data: backfill zero triples for
+				// earlier untraced absorbed commands on first use.
+				for len(lead.CoalTC) < 3*(len(lead.Data)-1) {
+					lead.CoalTC = append(lead.CoalTC, 0)
+				}
+				lead.CoalTC = append(lead.CoalTC, m.Trace, m.PSpan, uint64(m.QueuedVT))
+			}
 			if m.SendVT > lead.SendVT {
 				lead.SendVT = m.SendVT
 			}
@@ -282,15 +290,29 @@ func (n *Node) rxLoop() {
 			// from a template taken before the first delivery — once a
 			// copy is delivered a pooled runtime may free it concurrently.
 			tpl := *m
-			tpl.Coal, tpl.Data, tpl.Payload = false, nil, nil
+			tpl.Coal, tpl.Data, tpl.Payload, tpl.CoalTC = false, nil, nil, nil
+			// Only the lead command owns the message's own trace context;
+			// each absorbed command's context rides in CoalTC and is
+			// restored onto its fan-out copy here (a copy without an
+			// entry is untraced — it must not inherit the lead's, which
+			// belongs to an unrelated op).
+			ctpl := tpl
+			ctpl.Trace, ctpl.PSpan = 0, 0
+			restore := func(cm *fabric.Message, i int) {
+				if tcs := m.CoalTC; len(tcs) >= 3*(i+1) {
+					cm.Trace, cm.PSpan = tcs[3*i], tcs[3*i+1]
+					cm.QueuedVT = int64(tcs[3*i+2])
+				}
+			}
 			if n.c.pool != nil {
 				lead := fabric.NewMessage()
 				*lead = tpl
 				n.deliver(r, lead)
-				for _, ci := range m.Data {
+				for i, ci := range m.Data {
 					cm := fabric.NewMessage()
-					*cm = tpl
+					*cm = ctpl
 					cm.Chunk = int64(ci)
+					restore(cm, i)
 					n.deliver(r, cm)
 				}
 				m.Payload.Release() // the absorbed-chunk index list
@@ -298,9 +320,10 @@ func (n *Node) rxLoop() {
 			} else {
 				lead := tpl
 				n.deliver(r, &lead)
-				for _, ci := range m.Data {
-					cm := tpl
+				for i, ci := range m.Data {
+					cm := ctpl
 					cm.Chunk = int64(ci)
+					restore(&cm, i)
 					n.deliver(r, &cm)
 				}
 			}

@@ -9,6 +9,7 @@ import (
 	"darray/internal/cluster"
 	"darray/internal/fabric"
 	"darray/internal/telemetry"
+	"darray/internal/trace"
 	"darray/internal/vtime"
 )
 
@@ -58,6 +59,10 @@ type Array struct {
 	seq atomic.Int64
 
 	tr tracer // optional protocol event recorder (see EnableTrace)
+
+	// trc is the cluster's causal span tracer (nil when the cluster was
+	// built without one); see tracespan.go for the cost discipline.
+	trc *trace.Tracer
 }
 
 // Metrics aggregates protocol-side events for one node's handle.
@@ -234,7 +239,8 @@ func buildShared(c *cluster.Cluster, n int64, opt Options) *shared {
 		node := c.Node(int(v))
 		a := &Array{sh: sh, node: node, model: c.Model(), reg: c.Telemetry(),
 			pipeline: depth, seqTrig: seqTrig,
-			pool: c.BufPool(), pooled: c.BufPool() != nil}
+			pool: c.BufPool(), pooled: c.BufPool() != nil,
+			trc: c.Tracer()}
 		lo, hi := sh.starts[v]*cw, sh.starts[v+1]*cw
 		if hi > n {
 			hi = n

@@ -2,6 +2,7 @@ package core
 
 import (
 	"darray/internal/cluster"
+	"darray/internal/trace"
 )
 
 // Bulk transfers: chunk-wise ranged reads and writes. Internally each
@@ -28,20 +29,30 @@ func (a *Array) GetRange(ctx *cluster.Ctx, i int64, dst []uint64) {
 	if len(dst) == 0 {
 		return
 	}
+	var tc trace.Ctx
+	var t0 int64
+	if a.trc != nil {
+		tc, t0 = a.rootSpan(ctx)
+		if tc.Trace != 0 {
+			defer a.endRoot(ctx, tc, "GetRange", i/a.sh.chunkWords, t0)
+		}
+	}
 	if ciLo, ciHi, ok := a.usePipeline(i, int64(len(dst))); ok {
 		end := i + int64(len(dst))
 		a.rangePipeline(ctx, ciLo, ciHi, wantPinRead, 0, func(p *Pin) {
 			lo, hi := maxi64(i, p.base), mini64(end, p.limit)
 			copy(dst[lo-i:hi-i], p.d.data[lo-p.base:hi-p.base])
 			if m := a.model; m != nil {
-				ctx.Clock.Advance(m.CopyCost(int(8 * (hi - lo))))
+				cc := m.CopyCost(int(8 * (hi - lo)))
+				a.child(tc, a.self(), trace.StageService, "range-copy", p.d.ci, ctx.Clock.Now(), ctx.Clock.Now()+cc)
+				ctx.Clock.Advance(cc)
 			}
 			ctx.Stats.Ops++
-		})
+		}, tc)
 		return
 	}
 	for len(dst) > 0 {
-		p := a.PinRead(ctx, i)
+		p := a.pin(ctx, i, wantPinRead, 0, tc)
 		if p == nil {
 			return // cluster failed; see ctx.Err
 		}
@@ -52,7 +63,9 @@ func (a *Array) GetRange(ctx *cluster.Ctx, i int64, dst []uint64) {
 		base := i - p.First()
 		copy(dst[:n], p.d.data[base:base+n])
 		if m := a.model; m != nil {
-			ctx.Clock.Advance(m.CopyCost(int(8 * n)))
+			cc := m.CopyCost(int(8 * n))
+			a.child(tc, a.self(), trace.StageService, "range-copy", p.d.ci, ctx.Clock.Now(), ctx.Clock.Now()+cc)
+			ctx.Clock.Advance(cc)
 		}
 		ctx.Stats.Ops++
 		p.Unpin(ctx)
@@ -66,20 +79,30 @@ func (a *Array) SetRange(ctx *cluster.Ctx, i int64, src []uint64) {
 	if len(src) == 0 {
 		return
 	}
+	var tc trace.Ctx
+	var t0 int64
+	if a.trc != nil {
+		tc, t0 = a.rootSpan(ctx)
+		if tc.Trace != 0 {
+			defer a.endRoot(ctx, tc, "SetRange", i/a.sh.chunkWords, t0)
+		}
+	}
 	if ciLo, ciHi, ok := a.usePipeline(i, int64(len(src))); ok {
 		end := i + int64(len(src))
 		a.rangePipeline(ctx, ciLo, ciHi, wantPinWrite, 0, func(p *Pin) {
 			lo, hi := maxi64(i, p.base), mini64(end, p.limit)
 			copy(p.d.data[lo-p.base:hi-p.base], src[lo-i:hi-i])
 			if m := a.model; m != nil {
-				ctx.Clock.Advance(m.CopyCost(int(8 * (hi - lo))))
+				cc := m.CopyCost(int(8 * (hi - lo)))
+				a.child(tc, a.self(), trace.StageService, "range-copy", p.d.ci, ctx.Clock.Now(), ctx.Clock.Now()+cc)
+				ctx.Clock.Advance(cc)
 			}
 			ctx.Stats.Ops++
-		})
+		}, tc)
 		return
 	}
 	for len(src) > 0 {
-		p := a.PinWrite(ctx, i)
+		p := a.pin(ctx, i, wantPinWrite, 0, tc)
 		if p == nil {
 			return // cluster failed; see ctx.Err
 		}
@@ -90,7 +113,9 @@ func (a *Array) SetRange(ctx *cluster.Ctx, i int64, src []uint64) {
 		base := i - p.First()
 		copy(p.d.data[base:base+n], src[:n])
 		if m := a.model; m != nil {
-			ctx.Clock.Advance(m.CopyCost(int(8 * n)))
+			cc := m.CopyCost(int(8 * n))
+			a.child(tc, a.self(), trace.StageService, "range-copy", p.d.ci, ctx.Clock.Now(), ctx.Clock.Now()+cc)
+			ctx.Clock.Advance(cc)
 		}
 		ctx.Stats.Ops++
 		p.Unpin(ctx)
@@ -105,6 +130,14 @@ func (a *Array) ApplyRange(ctx *cluster.Ctx, op OpID, i int64, src []uint64) {
 	if len(src) == 0 {
 		return
 	}
+	var tc trace.Ctx
+	var t0 int64
+	if a.trc != nil {
+		tc, t0 = a.rootSpan(ctx)
+		if tc.Trace != 0 {
+			defer a.endRoot(ctx, tc, "ApplyRange", i/a.sh.chunkWords, t0)
+		}
+	}
 	if ciLo, ciHi, ok := a.usePipeline(i, int64(len(src))); ok {
 		end := i + int64(len(src))
 		a.rangePipeline(ctx, ciLo, ciHi, wantPinOperate, op, func(p *Pin) {
@@ -112,11 +145,11 @@ func (a *Array) ApplyRange(ctx *cluster.Ctx, op OpID, i int64, src []uint64) {
 			for k := lo; k < hi; k++ {
 				p.Apply(ctx, k, src[k-i])
 			}
-		})
+		}, tc)
 		return
 	}
 	for len(src) > 0 {
-		p := a.PinOperate(ctx, i, op)
+		p := a.pin(ctx, i, wantPinOperate, op, tc)
 		if p == nil {
 			return // cluster failed; see ctx.Err
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"darray/internal/buf"
 	"darray/internal/cluster"
+	"darray/internal/trace"
 )
 
 // cacheLine is one slot of a runtime thread's cache region. Pooled
@@ -134,7 +135,7 @@ func (s *rtState) startReclaim() {
 // to wait out late-arriving references, the final steps may run as a
 // stalled continuation; d.busy stays set until done.
 func (a *Array) evictLine(rt *cluster.Runtime, d *dentry) {
-	a.trace("evict", d.ci, -1, d.tvt)
+	a.trace("evict", d.ci, -1, d.tvt, trace.Ctx{})
 	d.busy = true
 	st := d.state.Load()
 	d.delay.Store(true)

@@ -3,6 +3,7 @@ package core
 import (
 	"darray/internal/cluster"
 	"darray/internal/fabric"
+	"darray/internal/trace"
 )
 
 // ---------------------------------------------------------------------------
@@ -39,7 +40,18 @@ func (a *Array) issueRequest(rt *cluster.Runtime, d *dentry) {
 	default:
 		kind = msgOperateReq
 	}
-	a.send(&fMsg{to: home, kind: kind, chunk: d.ci, op: w.op, vt: maxi64(w.vt, d.tvt)})
+	// The issuing waiter's chain rides the request: the home side and the
+	// response decompose its wait, so respond skips its chunk-wait span.
+	w.linked = true
+	vt := maxi64(w.vt, d.tvt)
+	if w.tc.Valid() && vt > w.vt && a.traceOn() {
+		// Time spent parked behind earlier transactions on this chunk
+		// (e.g. a grant that arrived and was lost again) before this
+		// waiter's own request went out.
+		w.tc = a.child(w.tc, a.self(), trace.StageQueue, "chunk-wait", d.ci, w.vt, vt)
+		w.vt = vt
+	}
+	a.send(&fMsg{to: home, kind: kind, chunk: d.ci, op: w.op, vt: vt, tc: w.tc})
 	if kind == msgReadReq {
 		a.prefetch(d.ci, w.vt)
 	}
@@ -113,9 +125,10 @@ func (a *Array) adoptLine(d *dentry, ln *cacheLine) {
 // and wakes the local waiters. When the grant upgrades a live Shared
 // line (the home excludes the requester from invalidation), active
 // readers are drained before the line is overwritten.
-func (a *Array) handleDataResp(rt *cluster.Runtime, d *dentry, m *fabric.Message, svt int64) {
+func (a *Array) handleDataResp(rt *cluster.Runtime, d *dentry, m *fabric.Message, svt int64, tc trace.Ctx) {
 	perm := uint32(m.Val)
 	fill := svt + a.copyCost(len(m.Data))
+	a.child(tc, a.self(), trace.StageService, "install", d.ci, svt, fill)
 	a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
 		a.withLine(rt, d, func(rt *cluster.Runtime) {
 			a.installGrant(d, m) // adopts the pooled payload when it can
@@ -185,16 +198,16 @@ func (a *Array) completeWaiters(rt *cluster.Runtime, d *dentry) {
 // handleInvalidate drops a Shared copy (home is granting someone
 // exclusive or Operated access). Invalidations are idempotent: a line
 // already gone (silent eviction, concurrent demotion) just acks.
-func (a *Array) handleInvalidate(rt *cluster.Runtime, d *dentry, m *fabric.Message, svt int64) {
+func (a *Array) handleInvalidate(rt *cluster.Runtime, d *dentry, m *fabric.Message, svt int64, tc trace.Ctx) {
 	a.Metrics.Invals.Add(1)
 	home := a.homeOfChunk(d.ci)
 	if d.busy {
 		// Evicting: the line dies anyway; ack once it has.
-		d.defrd = append(d.defrd, deferredReq{from: m.From, want: defInvalidate, vt: svt})
+		d.defrd = append(d.defrd, deferredReq{from: m.From, want: defInvalidate, vt: svt, tc: tc})
 		return
 	}
 	if d.line == nil || statePerm(d.state.Load()) != permRead {
-		a.send(&fMsg{to: home, kind: msgInvAck, chunk: d.ci, vt: svt})
+		a.send(&fMsg{to: home, kind: msgInvAck, chunk: d.ci, vt: svt, tc: tc})
 		return
 	}
 	d.busy = true
@@ -202,17 +215,17 @@ func (a *Array) handleInvalidate(rt *cluster.Runtime, d *dentry, m *fabric.Messa
 	a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
 		a.releaseLine(rt, d)
 		d.busy = false
-		a.send(&fMsg{to: home, kind: msgInvAck, chunk: d.ci, vt: d.tvt})
+		a.send(&fMsg{to: home, kind: msgInvAck, chunk: d.ci, vt: d.tvt, tc: tc})
 		a.drainDeferred(rt, d, d.ci)
 	})
 }
 
 // handleDowngrade writes a Dirty chunk back but keeps a Shared copy
 // (home is serving another node's read).
-func (a *Array) handleDowngrade(rt *cluster.Runtime, d *dentry, svt int64) {
+func (a *Array) handleDowngrade(rt *cluster.Runtime, d *dentry, svt int64, tc trace.Ctx) {
 	home := a.homeOfChunk(d.ci)
 	if d.busy {
-		d.defrd = append(d.defrd, deferredReq{want: defDowngrade, vt: svt})
+		d.defrd = append(d.defrd, deferredReq{want: defDowngrade, vt: svt, tc: tc})
 		return
 	}
 	if d.line == nil || statePerm(d.state.Load()) != permRW {
@@ -230,17 +243,19 @@ func (a *Array) handleDowngrade(rt *cluster.Runtime, d *dentry, svt int64) {
 		}
 		a.Metrics.WriteBacks.Add(1)
 		d.busy = false
+		cc := a.copyCost(len(data))
+		wtc := a.child(tc, a.self(), trace.StageService, "copy-out", d.ci, d.tvt, d.tvt+cc)
 		a.send(&fMsg{to: home, kind: msgWBData, chunk: d.ci, data: data, pay: pay,
-			vt: d.tvt + a.copyCost(len(data))})
+			vt: d.tvt + cc, tc: wtc})
 		a.drainDeferred(rt, d, d.ci)
 	})
 }
 
 // handleRecall writes a Dirty chunk back and invalidates it.
-func (a *Array) handleRecall(rt *cluster.Runtime, d *dentry, svt int64) {
+func (a *Array) handleRecall(rt *cluster.Runtime, d *dentry, svt int64, tc trace.Ctx) {
 	home := a.homeOfChunk(d.ci)
 	if d.busy {
-		d.defrd = append(d.defrd, deferredReq{want: defRecall, vt: svt})
+		d.defrd = append(d.defrd, deferredReq{want: defRecall, vt: svt, tc: tc})
 		return
 	}
 	if d.line == nil || statePerm(d.state.Load()) != permRW {
@@ -254,18 +269,20 @@ func (a *Array) handleRecall(rt *cluster.Runtime, d *dentry, svt int64) {
 		a.Metrics.WriteBacks.Add(1)
 		a.releaseLine(rt, d)
 		d.busy = false
+		cc := a.copyCost(len(data))
+		wtc := a.child(tc, a.self(), trace.StageService, "copy-out", d.ci, d.tvt, d.tvt+cc)
 		a.send(&fMsg{to: home, kind: msgWBData, chunk: d.ci, data: data, pay: pay,
-			vt: d.tvt + a.copyCost(len(data))})
+			vt: d.tvt + cc, tc: wtc})
 		a.drainDeferred(rt, d, d.ci)
 	})
 }
 
 // handleOpRecall flushes the combined-operand buffer to home and
 // invalidates the chunk (home is collapsing the Operated state).
-func (a *Array) handleOpRecall(rt *cluster.Runtime, d *dentry, svt int64) {
+func (a *Array) handleOpRecall(rt *cluster.Runtime, d *dentry, svt int64, tc trace.Ctx) {
 	home := a.homeOfChunk(d.ci)
 	if d.busy {
-		d.defrd = append(d.defrd, deferredReq{want: defOpRecall, vt: svt})
+		d.defrd = append(d.defrd, deferredReq{want: defOpRecall, vt: svt, tc: tc})
 		return
 	}
 	st := d.state.Load()
@@ -282,8 +299,10 @@ func (a *Array) handleOpRecall(rt *cluster.Runtime, d *dentry, svt int64) {
 		a.Metrics.OpFlushes.Add(1)
 		a.releaseLine(rt, d)
 		d.busy = false
+		cc := a.copyCost(len(data))
+		wtc := a.child(tc, a.self(), trace.StageService, "copy-out", d.ci, d.tvt, d.tvt+cc)
 		a.send(&fMsg{to: home, kind: msgOpFlush, chunk: d.ci, op: op, data: data, pay: pay,
-			vt: d.tvt + a.copyCost(len(data))})
+			vt: d.tvt + cc, tc: wtc})
 		a.drainDeferred(rt, d, d.ci)
 	})
 }

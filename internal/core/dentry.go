@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"darray/internal/cluster"
+	"darray/internal/trace"
 )
 
 // Local access-permission states, stored in the low bits of dentry.state.
@@ -95,6 +96,14 @@ type waiter struct {
 	want uint8
 	op   OpID
 	vt   int64 // requester's virtual time at submission
+
+	// tc is the causal-trace chain of the op this waiter blocks (zero
+	// when untraced). linked marks the waiter whose chain rides an
+	// outbound protocol request: its wait is decomposed by the
+	// transaction's own spans, so respond skips the catch-all
+	// chunk-wait span it emits for piggybacked and deferred waiters.
+	tc     trace.Ctx
+	linked bool
 }
 
 // dentry is one directory entry: the per-node metadata for one global
@@ -127,6 +136,14 @@ type dentry struct {
 	opAcks  int
 	onOpAll func(rt *cluster.Runtime) // operand-recall continuation
 
+	// tctx is the causal-trace chain of the directory transaction in
+	// flight (home side; zero when the requester was untraced), and
+	// fanVT the virtual time its invalidation/op-recall fan-out began —
+	// together they let the ack counters emit one fanout span covering
+	// the whole multicast wait.
+	tctx  trace.Ctx
+	fanVT int64
+
 	// Home-directory fields (valid only at the home node).
 	dstate  uint8
 	sharers uint64 // bitmask of non-home nodes with a Shared copy
@@ -140,5 +157,6 @@ type deferredReq struct {
 	want uint8 // wantRead/wantWrite/wantOperate (pin variants local only)
 	op   OpID
 	vt   int64
-	w    *waiter // non-nil for local requests
+	w    *waiter   // non-nil for local requests
+	tc   trace.Ctx // causal-trace chain carried across the deferral
 }

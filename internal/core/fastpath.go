@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"darray/internal/cluster"
+	"darray/internal/trace"
 )
 
 // Get reads element i (paper Figure 4). The fast path costs one atomic
@@ -17,6 +18,11 @@ func (a *Array) Get(ctx *cluster.Ctx, i int64) uint64 {
 	ctx.Stats.Ops++
 	if m := a.model; m != nil {
 		ctx.Clock.Advance(m.GetHit)
+	}
+	var tc trace.Ctx
+	var t0 int64
+	if a.trc != nil {
+		tc, t0 = a.rootSpan(ctx)
 	}
 	if off == a.seqTrig {
 		// Mid-chunk sample point for the sequential-access detector: one
@@ -42,10 +48,16 @@ func (a *Array) Get(ctx *cluster.Ctx, i int64) uint64 {
 				a.Metrics.Hits.Add(1)
 				a.notePrefetchHit(d)
 			}
+			if tc.Trace != 0 {
+				a.endRoot(ctx, tc, "Get", ci, t0)
+			}
 			return v
 		}
 		d.refcnt.Add(-1)
-		if !a.slowPath(ctx, d, ci, wantRead, 0) {
+		if !a.slowPath(ctx, d, ci, wantRead, 0, tc) {
+			if tc.Trace != 0 {
+				a.endRoot(ctx, tc, "Get", ci, t0)
+			}
 			return 0 // cluster failed; see ctx.Err
 		}
 	}
@@ -60,6 +72,11 @@ func (a *Array) Set(ctx *cluster.Ctx, i int64, v uint64) {
 	ctx.Stats.Ops++
 	if m := a.model; m != nil {
 		ctx.Clock.Advance(m.SetHit)
+	}
+	var tc trace.Ctx
+	var t0 int64
+	if a.trc != nil {
+		tc, t0 = a.rootSpan(ctx)
 	}
 	for {
 		if d.delay.Load() {
@@ -79,10 +96,16 @@ func (a *Array) Set(ctx *cluster.Ctx, i int64, v uint64) {
 			if a.telOn() {
 				a.Metrics.Hits.Add(1)
 			}
+			if tc.Trace != 0 {
+				a.endRoot(ctx, tc, "Set", ci, t0)
+			}
 			return
 		}
 		d.refcnt.Add(-1)
-		if !a.slowPath(ctx, d, ci, wantWrite, 0) {
+		if !a.slowPath(ctx, d, ci, wantWrite, 0, tc) {
+			if tc.Trace != 0 {
+				a.endRoot(ctx, tc, "Set", ci, t0)
+			}
 			return // cluster failed; see ctx.Err
 		}
 	}
@@ -101,6 +124,11 @@ func (a *Array) Apply(ctx *cluster.Ctx, op OpID, i int64, operand uint64) {
 	ctx.Stats.Ops++
 	if m := a.model; m != nil {
 		ctx.Clock.Advance(m.ApplyHit)
+	}
+	var tc trace.Ctx
+	var t0 int64
+	if a.trc != nil {
+		tc, t0 = a.rootSpan(ctx)
 	}
 	for {
 		if d.delay.Load() {
@@ -128,10 +156,16 @@ func (a *Array) Apply(ctx *cluster.Ctx, op OpID, i int64, operand uint64) {
 				a.Metrics.Hits.Add(1)
 				a.Metrics.Combines.Add(1)
 			}
+			if tc.Trace != 0 {
+				a.endRoot(ctx, tc, "Apply", ci, t0)
+			}
 			return
 		}
 		d.refcnt.Add(-1)
-		if !a.slowPath(ctx, d, ci, wantOperate, op) {
+		if !a.slowPath(ctx, d, ci, wantOperate, op, tc) {
+			if tc.Trace != 0 {
+				a.endRoot(ctx, tc, "Apply", ci, t0)
+			}
 			return // cluster failed; see ctx.Err
 		}
 	}
@@ -144,7 +178,7 @@ func (a *Array) Apply(ctx *cluster.Ctx, op OpID, i int64, operand uint64) {
 // Returns false when the request completed with an error (the fabric
 // gave up on a peer): the caller must abandon the operation and return a
 // zero value instead of retrying — the error is recorded on ctx.
-func (a *Array) slowPath(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, op OpID) bool {
+func (a *Array) slowPath(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, op OpID, tc trace.Ctx) bool {
 	if ctx.Err() != nil {
 		return false
 	}
@@ -156,9 +190,12 @@ func (a *Array) slowPath(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, op O
 	if m := a.model; m != nil {
 		vt += m.SlowFixed
 	}
+	if tc.Trace != 0 {
+		tc = a.trc.Child(tc, int32(a.self()), trace.StageService, "submit", ci, ctx.Clock.Now(), vt)
+	}
 	rt := a.rtOf(ci)
 	w := a.getWaiter()
-	*w = waiter{ctx: ctx, want: want, op: op, vt: vt}
+	*w = waiter{ctx: ctx, want: want, op: op, vt: vt, tc: tc}
 	rt.Submit(func(rt *cluster.Runtime) {
 		a.handleLocal(rt, d, ci, w)
 	})

@@ -3,6 +3,7 @@ package core
 import (
 	"darray/internal/cluster"
 	"darray/internal/fabric"
+	"darray/internal/trace"
 )
 
 // Distributed reader/writer locks with element granularity (paper Fig. 3
@@ -24,6 +25,7 @@ type lockReq struct {
 	writer bool
 	w      *waiter // non-nil for local requests
 	vt     int64
+	tc     trace.Ctx // requester's causal-trace chain (zero when untraced)
 }
 
 // RLock acquires element i's lock in shared mode, blocking until granted.
@@ -41,14 +43,27 @@ func (a *Array) lock(ctx *cluster.Ctx, i int64, writer bool) {
 	ctx.Stats.Ops++
 	home := a.homeOfChunk(ci)
 	rt := a.rtOf(ci)
+	var tc trace.Ctx
+	var t0 int64
+	if a.trc != nil {
+		tc, t0 = a.rootSpan(ctx)
+	}
 	w := &waiter{ctx: ctx, vt: ctx.Clock.Now()}
 	if m := a.model; m != nil {
 		w.vt += m.SlowFixed
 	}
+	if tc.Trace != 0 {
+		w.tc = a.trc.Child(tc, int32(a.self()), trace.StageService, "submit", ci, ctx.Clock.Now(), w.vt)
+	}
 	rt.Submit(func(rt *cluster.Runtime) {
-		svt := a.charge(rt, w.vt)
+		start, svt := a.charge2(rt, w.vt)
+		wtc := w.tc
+		if wtc.Valid() && a.traceOn() {
+			wtc = a.child(wtc, a.self(), trace.StageQueue, "rt-queue", ci, w.vt, start)
+			wtc = a.child(wtc, a.self(), trace.StageService, "lock-req", ci, start, svt)
+		}
 		if home == a.self() {
-			a.lockRequest(rt, i, lockReq{from: home, writer: writer, w: w, vt: svt})
+			a.lockRequest(rt, i, lockReq{from: home, writer: writer, w: w, vt: svt, tc: wtc})
 			return
 		}
 		s := a.rstate(rt)
@@ -57,13 +72,20 @@ func (a *Array) lock(ctx *cluster.Ctx, i int64, writer bool) {
 		}
 		s.lockWaiters[i] = append(s.lockWaiters[i], w)
 		a.send(&fMsg{to: home, kind: msgLockReq, chunk: ci, idx: i,
-			flag: writer, vt: svt})
+			flag: writer, vt: svt, tc: wtc})
 	})
 	resp := ctx.WaitResp()
 	if resp.Err != nil {
 		return // cluster failed; the lock is not held (see ctx.Err)
 	}
 	ctx.Clock.AdvanceTo(resp.VT)
+	if tc.Trace != 0 {
+		name := "RLock"
+		if writer {
+			name = "WLock"
+		}
+		a.endRoot(ctx, tc, name, ci, t0)
+	}
 }
 
 // Unlock releases element i's lock (reader or writer — the home knows
@@ -91,10 +113,11 @@ func (a *Array) Unlock(ctx *cluster.Ctx, i int64) {
 // handleLockMsg processes lock traffic on the home (or requester, for
 // grants) runtime goroutine.
 func (a *Array) handleLockMsg(rt *cluster.Runtime, m *fabric.Message) {
-	svt := a.charge(rt, m.VT)
+	start, svt := a.charge2(rt, m.VT)
+	tc := a.msgSpans(m, start, svt)
 	switch m.Kind {
 	case msgLockReq:
-		a.lockRequest(rt, m.Idx, lockReq{from: m.From, writer: m.Flag, vt: svt})
+		a.lockRequest(rt, m.Idx, lockReq{from: m.From, writer: m.Flag, vt: svt, tc: tc})
 	case msgUnlock:
 		a.unlockRequest(rt, m.Idx, svt)
 	case msgLockGrant:
@@ -161,15 +184,24 @@ func (a *Array) tryGrant(rt *cluster.Runtime, idx int64, ls *lockState) {
 		} else {
 			ls.readers++
 		}
-		gvt := maxi64(h.vt, ls.freeVT)
+		base := maxi64(h.vt, ls.freeVT)
+		gvt := base
 		if mdl != nil {
 			gvt += mdl.LockService
+		}
+		tc := h.tc
+		if tc.Valid() {
+			if ls.freeVT > h.vt {
+				// Contended: the request waited for the holder's release.
+				tc = a.child(tc, a.self(), trace.StageQueue, "lock-wait", idx, h.vt, ls.freeVT)
+			}
+			tc = a.child(tc, a.self(), trace.StageService, "lock-grant", idx, base, gvt)
 		}
 		if h.w != nil {
 			h.w.ctx.Complete(cluster.Resp{VT: gvt, Val: 1})
 		} else {
 			ci := idx / a.sh.chunkWords
-			a.send(&fMsg{to: h.from, kind: msgLockGrant, chunk: ci, idx: idx, vt: gvt})
+			a.send(&fMsg{to: h.from, kind: msgLockGrant, chunk: ci, idx: idx, vt: gvt, tc: tc})
 		}
 		if h.writer {
 			return

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"darray/internal/cluster"
+	"darray/internal/trace"
 )
 
 // Pin is an explicitly held reference to one chunk (paper §4.1 "Pin
@@ -27,20 +28,20 @@ type Pin struct {
 // read requests from it. Like all pin variants it returns nil when the
 // cluster has hit a fatal fabric error (see ctx.Err).
 func (a *Array) PinRead(ctx *cluster.Ctx, i int64) *Pin {
-	return a.pin(ctx, i, wantPinRead, 0)
+	return a.pin(ctx, i, wantPinRead, 0, trace.Ctx{})
 }
 
 // PinWrite pins the chunk containing element i with exclusive (RW)
 // permission.
 func (a *Array) PinWrite(ctx *cluster.Ctx, i int64) *Pin {
-	return a.pin(ctx, i, wantPinWrite, 0)
+	return a.pin(ctx, i, wantPinWrite, 0, trace.Ctx{})
 }
 
 // PinOperate pins the chunk containing element i in the Operated state
 // for operator op, so Apply calls combine without atomics on the control
 // path (the element CAS remains — combiners stay concurrent).
 func (a *Array) PinOperate(ctx *cluster.Ctx, i int64, op OpID) *Pin {
-	return a.pin(ctx, i, wantPinOperate, op)
+	return a.pin(ctx, i, wantPinOperate, op, trace.Ctx{})
 }
 
 // mkPin builds the Pin handle for chunk ci once a reference is held.
@@ -53,7 +54,10 @@ func (a *Array) mkPin(d *dentry, ci int64, fn func(acc, operand uint64) uint64, 
 	return &Pin{a: a, d: d, base: base, limit: limit, apFn: fn, op: op}
 }
 
-func (a *Array) pin(ctx *cluster.Ctx, i int64, want uint8, op OpID) *Pin {
+// pin acquires a pinned reference. tc, when valid, is the causal-trace
+// chain of the enclosing bulk range op (standalone Pin* calls are not
+// root-sampled; ranges thread their root context through here).
+func (a *Array) pin(ctx *cluster.Ctx, i int64, want uint8, op OpID, tc trace.Ctx) *Pin {
 	ci, _ := a.locate(i)
 	d := &a.dents[ci]
 	ctx.Stats.Ops++
@@ -83,7 +87,7 @@ func (a *Array) pin(ctx *cluster.Ctx, i int64, want uint8, op OpID) *Pin {
 			return a.mkPin(d, ci, fn, op) // keep the reference: that is the pin
 		}
 		d.refcnt.Add(-1)
-		granted, failed := a.slowPathPin(ctx, d, ci, want, op)
+		granted, failed := a.slowPathPin(ctx, d, ci, want, op, tc)
 		if failed {
 			return nil // cluster failed; see ctx.Err
 		}
@@ -102,7 +106,7 @@ func (a *Array) pin(ctx *cluster.Ctx, i int64, want uint8, op OpID) *Pin {
 // reports whether the pin was granted, and separately whether the
 // request died with a fabric error (recorded on ctx; the caller must
 // give up rather than retry).
-func (a *Array) slowPathPin(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, op OpID) (granted, failed bool) {
+func (a *Array) slowPathPin(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, op OpID, tc trace.Ctx) (granted, failed bool) {
 	if ctx.Err() != nil {
 		return false, true
 	}
@@ -114,8 +118,11 @@ func (a *Array) slowPathPin(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, o
 	if m := a.model; m != nil {
 		vt += m.SlowFixed
 	}
+	if tc.Trace != 0 {
+		tc = a.trc.Child(tc, int32(a.self()), trace.StageService, "submit", ci, ctx.Clock.Now(), vt)
+	}
 	w := a.getWaiter()
-	*w = waiter{ctx: ctx, want: want, op: op, vt: vt}
+	*w = waiter{ctx: ctx, want: want, op: op, vt: vt, tc: tc}
 	a.rtOf(ci).Submit(func(rt *cluster.Runtime) {
 		a.handleLocal(rt, d, ci, w)
 	})

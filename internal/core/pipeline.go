@@ -2,6 +2,7 @@ package core
 
 import (
 	"darray/internal/cluster"
+	"darray/internal/trace"
 )
 
 // Pipelined bulk transfers (BCL-style aggregation, cf. PAPERS.md Brock
@@ -26,7 +27,7 @@ type chunkReq struct {
 // slow path will queue behind it. r is caller-provided storage (the
 // pipeline reuses a fixed ring of requests instead of allocating one
 // per chunk).
-func (a *Array) issueChunkInto(ctx *cluster.Ctx, r *chunkReq, ci int64, want uint8, op OpID, fn func(acc, operand uint64) uint64) {
+func (a *Array) issueChunkInto(ctx *cluster.Ctx, r *chunkReq, ci int64, want uint8, op OpID, fn func(acc, operand uint64) uint64, tc trace.Ctx) {
 	d := &a.dents[ci]
 	*r = chunkReq{ci: ci, d: d}
 	ctx.Stats.Ops++
@@ -54,9 +55,12 @@ func (a *Array) issueChunkInto(ctx *cluster.Ctx, r *chunkReq, ci int64, want uin
 	if m := a.model; m != nil {
 		vt += m.SlowFixed
 	}
+	if tc.Trace != 0 {
+		tc = a.trc.Child(tc, int32(a.self()), trace.StageService, "submit", ci, ctx.Clock.Now(), vt)
+	}
 	r.tok = ctx.AcquireToken()
 	w := a.getWaiter()
-	*w = waiter{ctx: ctx, tok: r.tok, want: want, op: op, vt: vt}
+	*w = waiter{ctx: ctx, tok: r.tok, want: want, op: op, vt: vt, tc: tc}
 	a.rtOf(ci).Submit(func(rt *cluster.Runtime) {
 		a.handleLocal(rt, d, ci, w)
 	})
@@ -66,7 +70,7 @@ func (a *Array) issueChunkInto(ctx *cluster.Ctx, r *chunkReq, ci int64, want uin
 // or nil when the cluster has failed (recorded on ctx). In the rare case
 // that the granted state was lost again before the pin could be taken,
 // it falls back to the synchronous pin path.
-func (a *Array) awaitChunk(ctx *cluster.Ctx, r *chunkReq, want uint8, op OpID, fn func(acc, operand uint64) uint64) *Pin {
+func (a *Array) awaitChunk(ctx *cluster.Ctx, r *chunkReq, want uint8, op OpID, fn func(acc, operand uint64) uint64, tc trace.Ctx) *Pin {
 	if r.pin != nil {
 		return r.pin
 	}
@@ -90,7 +94,7 @@ func (a *Array) awaitChunk(ctx *cluster.Ctx, r *chunkReq, want uint8, op OpID, f
 		}
 		return a.mkPin(r.d, r.ci, fn, op)
 	}
-	return a.pin(ctx, r.ci*a.sh.chunkWords, want, op)
+	return a.pin(ctx, r.ci*a.sh.chunkWords, want, op, tc)
 }
 
 // rangePipeline pins chunks [ciLo, ciHi] in order with up to
@@ -98,7 +102,7 @@ func (a *Array) awaitChunk(ctx *cluster.Ctx, r *chunkReq, want uint8, op OpID, f
 // chunk and unpinning it. The next acquisition is issued before the
 // current chunk is processed, so the copy overlaps the fetch. Stops
 // early (without process) once the cluster fails.
-func (a *Array) rangePipeline(ctx *cluster.Ctx, ciLo, ciHi int64, want uint8, op OpID, process func(p *Pin)) {
+func (a *Array) rangePipeline(ctx *cluster.Ctx, ciLo, ciHi int64, want uint8, op OpID, process func(p *Pin), tc trace.Ctx) {
 	var fn func(acc, operand uint64) uint64
 	if want == wantPinOperate {
 		fn = a.op(op).Fn
@@ -113,14 +117,14 @@ func (a *Array) rangePipeline(ctx *cluster.Ctx, ciLo, ciHi int64, want uint8, op
 	reqs := make([]chunkReq, depth)
 	next := ciLo
 	for i := int64(0); i < depth; i++ {
-		a.issueChunkInto(ctx, &reqs[i], next, want, op, fn)
+		a.issueChunkInto(ctx, &reqs[i], next, want, op, fn, tc)
 		next++
 	}
 	for ci := ciLo; ci <= ciHi; ci++ {
 		r := &reqs[(ci-ciLo)%depth]
-		p := a.awaitChunk(ctx, r, want, op, fn)
+		p := a.awaitChunk(ctx, r, want, op, fn, tc)
 		if next <= ciHi {
-			a.issueChunkInto(ctx, r, next, want, op, fn)
+			a.issueChunkInto(ctx, r, next, want, op, fn, tc)
 			next++
 		}
 		if p == nil {

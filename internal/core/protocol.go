@@ -8,6 +8,7 @@ import (
 	"darray/internal/buf"
 	"darray/internal/cluster"
 	"darray/internal/fabric"
+	"darray/internal/trace"
 )
 
 // Protocol message kinds. Requests flow cache→home, grants and
@@ -42,6 +43,7 @@ type fMsg struct {
 	data  []uint64
 	pay   *buf.Ref // pool buffer backing data; ownership moves with the send
 	vt    int64
+	tc    trace.Ctx // causal-trace chain to carry in the message header
 }
 
 func (a *Array) send(m *fMsg) {
@@ -50,6 +52,7 @@ func (a *Array) send(m *fMsg) {
 		fm.To, fm.Array, fm.Kind, fm.Chunk = m.to, a.sh.id, m.kind, m.chunk
 		fm.OpID, fm.Idx, fm.Val, fm.Flag = int32(m.op), m.idx, m.val, m.flag
 		fm.Data, fm.Payload, fm.SendVT = m.data, m.pay, m.vt
+		fm.Trace, fm.PSpan, fm.QueuedVT = m.tc.Trace, m.tc.Span, m.vt
 		a.node.Send(fm)
 		return
 	}
@@ -57,18 +60,26 @@ func (a *Array) send(m *fMsg) {
 		To: m.to, Array: a.sh.id, Kind: m.kind, Chunk: m.chunk,
 		OpID: int32(m.op), Idx: m.idx, Val: m.val, Flag: m.flag,
 		Data: m.data, SendVT: m.vt,
+		Trace: m.tc.Trace, PSpan: m.tc.Span, QueuedVT: m.vt,
 	})
 }
 
 // charge accounts one runtime service slot starting at vt and returns
 // the virtual completion time (zero when no model is configured).
 func (a *Array) charge(rt *cluster.Runtime, vt int64) int64 {
+	_, end := a.charge2(rt, vt)
+	return end
+}
+
+// charge2 is charge exposing the slot's start time as well: start - vt
+// is how long the request sat in the runtime's RPC queue, the first
+// segment of a slow-path miss's latency breakdown.
+func (a *Array) charge2(rt *cluster.Runtime, vt int64) (start, end int64) {
 	m := a.model
 	if m == nil {
-		return 0
+		return 0, 0
 	}
-	_, end := rt.Res.Acquire(vt, m.RPCService)
-	return end
+	return rt.Res.Acquire(vt, m.RPCService)
 }
 
 func (a *Array) copyCost(words int) int64 {
@@ -98,33 +109,34 @@ func (a *Array) handleMsg(rt *cluster.Runtime, m *fabric.Message) {
 		return
 	}
 	d := &a.dents[m.Chunk]
-	a.trace(kindName(m.Kind), m.Chunk, m.From, m.VT)
-	svt := a.charge(rt, m.VT)
+	start, svt := a.charge2(rt, m.VT)
+	tc := a.msgSpans(m, start, svt)
+	a.trace(kindName(m.Kind), m.Chunk, m.From, m.VT, tc)
 	switch m.Kind {
 	case msgReadReq:
-		a.serveHome(rt, d, homeReq{from: m.From, want: wantRead, vt: svt})
+		a.serveHome(rt, d, homeReq{from: m.From, want: wantRead, vt: svt, tc: tc})
 	case msgWriteReq:
-		a.serveHome(rt, d, homeReq{from: m.From, want: wantWrite, vt: svt})
+		a.serveHome(rt, d, homeReq{from: m.From, want: wantWrite, vt: svt, tc: tc})
 	case msgOperateReq:
-		a.serveHome(rt, d, homeReq{from: m.From, want: wantOperate, op: OpID(m.OpID), vt: svt})
+		a.serveHome(rt, d, homeReq{from: m.From, want: wantOperate, op: OpID(m.OpID), vt: svt, tc: tc})
 	case msgDataResp:
-		a.handleDataResp(rt, d, m, svt)
+		a.handleDataResp(rt, d, m, svt, tc)
 		return // the install continuation recycles m
 	case msgOpGrant:
 		a.handleOpGrant(rt, d, m, svt)
 		return // the install continuation recycles m
 	case msgInvalidate:
-		a.handleInvalidate(rt, d, m, svt)
+		a.handleInvalidate(rt, d, m, svt, tc)
 	case msgInvAck:
 		a.handleInvAck(rt, d, svt)
 	case msgDowngrade:
-		a.handleDowngrade(rt, d, svt)
+		a.handleDowngrade(rt, d, svt, tc)
 	case msgRecall:
-		a.handleRecall(rt, d, svt)
+		a.handleRecall(rt, d, svt, tc)
 	case msgOpRecall:
-		a.handleOpRecall(rt, d, svt)
+		a.handleOpRecall(rt, d, svt, tc)
 	case msgWBData:
-		a.handleWBData(rt, d, m, svt)
+		a.handleWBData(rt, d, m, svt, tc)
 	case msgOpFlush:
 		a.handleOpFlush(rt, d, m, svt)
 	default:
@@ -135,15 +147,27 @@ func (a *Array) handleMsg(rt *cluster.Runtime, m *fabric.Message) {
 
 // handleLocal is the runtime-side entry for a local slow-path request.
 func (a *Array) handleLocal(rt *cluster.Runtime, d *dentry, ci int64, w *waiter) {
-	a.trace("local-req", ci, -1, w.vt)
-	svt := a.charge(rt, w.vt)
+	start, svt := a.charge2(rt, w.vt)
+	if w.tc.Valid() && a.traceOn() {
+		tc := a.child(w.tc, a.self(), trace.StageQueue, "rt-queue", ci, w.vt, start)
+		w.tc = a.child(tc, a.self(), trace.StageService, "local-req", ci, start, svt)
+	}
+	a.trace("local-req", ci, -1, w.vt, w.tc)
 	if satisfies(d.state.Load(), w.want, w.op) {
+		w.vt = svt
 		a.respond(rt, d, w, maxi64(svt, d.tvt))
 		return
 	}
 	w.vt = svt
 	if a.homeOfChunk(ci) == a.self() {
-		a.serveHome(rt, d, homeReq{from: a.self(), want: baseWant(w.want), op: w.op, vt: svt, w: w})
+		// Only a request that directly starts its directory transaction
+		// counts as linked: its wait is decomposed by the transaction's
+		// own spans. A deferral leaves linked false so respond's
+		// chunk-wait span covers the opaque busy window.
+		if !d.busy {
+			w.linked = true
+		}
+		a.serveHome(rt, d, homeReq{from: a.self(), want: baseWant(w.want), op: w.op, vt: svt, w: w, tc: w.tc})
 	} else {
 		a.cacheRequest(rt, d, w)
 	}
@@ -153,6 +177,11 @@ func (a *Array) handleLocal(rt *cluster.Runtime, d *dentry, ci int64, w *waiter)
 // the reference on the waiter's behalf before replying, closing the
 // window in which another transition could intervene.
 func (a *Array) respond(rt *cluster.Runtime, d *dentry, w *waiter, vt int64) {
+	if w.tc.Valid() && !w.linked && vt > w.vt && a.traceOn() {
+		// Piggybacked or deferred waiter: its wait is not decomposed by a
+		// transaction chain of its own, so one queue span covers it.
+		a.child(w.tc, a.self(), trace.StageQueue, "chunk-wait", d.ci, w.vt, vt)
+	}
 	var val uint64
 	if isPin(w.want) && satisfies(d.state.Load(), w.want, w.op) {
 		d.refcnt.Add(1)
@@ -189,17 +218,25 @@ type homeReq struct {
 	want uint8
 	op   OpID
 	vt   int64
-	w    *waiter // non-nil for local requests
+	w    *waiter   // non-nil for local requests
+	tc   trace.Ctx // requester's causal-trace chain (zero when untraced)
 }
 
 // serveHome starts (or defers) a directory transaction for chunk d.
 func (a *Array) serveHome(rt *cluster.Runtime, d *dentry, r homeReq) {
 	if d.busy {
-		d.defrd = append(d.defrd, deferredReq{from: r.from, want: r.want, op: r.op, vt: r.vt, w: r.w})
+		d.defrd = append(d.defrd, deferredReq{from: r.from, want: r.want, op: r.op, vt: r.vt, w: r.w, tc: r.tc})
 		return
 	}
 	d.busy = true
+	if r.tc.Valid() && d.tvt > r.vt && a.traceOn() {
+		// The directory clock is ahead of the requester: the request spent
+		// [r.vt, d.tvt] serialized behind earlier transactions on this
+		// chunk (including any time parked in the deferred list).
+		r.tc = a.child(r.tc, a.self(), trace.StageQueue, "dir-wait", d.ci, r.vt, d.tvt)
+	}
 	d.tvt = maxi64(d.tvt, r.vt)
+	d.tctx = r.tc
 	a.homeStep(rt, d, r)
 }
 
@@ -366,15 +403,17 @@ func (a *Array) homeFinish(rt *cluster.Runtime, d *dentry, r homeReq) {
 func (a *Array) grantData(rt *cluster.Runtime, d *dentry, r homeReq, perm uint32) {
 	data, pay := a.leasePayload(len(d.data))
 	copy(data, d.data)
+	cc := a.copyCost(len(data))
+	tc := a.child(d.tctx, a.self(), trace.StageService, "copy-out", d.ci, d.tvt, d.tvt+cc)
 	a.send(&fMsg{to: r.from, kind: msgDataResp, chunk: d.ci, val: uint64(perm),
-		data: data, pay: pay, vt: d.tvt + a.copyCost(len(data))})
+		data: data, pay: pay, vt: d.tvt + cc, tc: tc})
 	a.homeDone(rt, d)
 }
 
 // grantOperate replies to a remote Operate request; no data moves (the
 // requester initializes a combine buffer with the operator identity).
 func (a *Array) grantOperate(rt *cluster.Runtime, d *dentry, r homeReq) {
-	a.send(&fMsg{to: r.from, kind: msgOpGrant, chunk: d.ci, op: d.opID, vt: d.tvt})
+	a.send(&fMsg{to: r.from, kind: msgOpGrant, chunk: d.ci, op: d.opID, vt: d.tvt, tc: d.tctx})
 	a.homeDone(rt, d)
 }
 
@@ -398,19 +437,19 @@ func (a *Array) drainDeferred(rt *cluster.Runtime, d *dentry, ci int64) {
 				a.respond(rt, d, r.w, maxi64(r.vt, d.tvt))
 				continue
 			}
-			a.serveHome(rt, d, homeReq{from: r.from, want: r.want, op: r.op, vt: r.vt, w: r.w})
+			a.serveHome(rt, d, homeReq{from: r.from, want: r.want, op: r.op, vt: r.vt, w: r.w, tc: r.tc})
 			continue
 		}
 		// Cache side: deferred coherence commands.
 		switch r.want {
 		case defInvalidate:
-			a.handleInvalidate(rt, d, &fabric.Message{From: r.from, Chunk: ci}, r.vt)
+			a.handleInvalidate(rt, d, &fabric.Message{From: r.from, Chunk: ci}, r.vt, r.tc)
 		case defDowngrade:
-			a.handleDowngrade(rt, d, r.vt)
+			a.handleDowngrade(rt, d, r.vt, r.tc)
 		case defRecall:
-			a.handleRecall(rt, d, r.vt)
+			a.handleRecall(rt, d, r.vt, r.tc)
 		case defOpRecall:
-			a.handleOpRecall(rt, d, r.vt)
+			a.handleOpRecall(rt, d, r.vt, r.tc)
 		}
 	}
 	// A cache-side dentry may have collected waiters during an eviction.
@@ -481,9 +520,10 @@ func (a *Array) invalidateSharers(rt *cluster.Runtime, d *dentry, except int, co
 	}
 	d.acks = n
 	d.onAcks = cont
+	d.fanVT = d.tvt
 	for v := 0; mask != 0; v++ {
 		if mask&1 != 0 {
-			a.send(&fMsg{to: v, kind: msgInvalidate, chunk: d.ci, vt: d.tvt})
+			a.send(&fMsg{to: v, kind: msgInvalidate, chunk: d.ci, vt: d.tvt, tc: d.tctx})
 		}
 		mask >>= 1
 	}
@@ -496,6 +536,9 @@ func (a *Array) handleInvAck(rt *cluster.Runtime, d *dentry, svt int64) {
 	}
 	d.acks--
 	if d.acks == 0 {
+		// One fanout span covers the whole multicast wait: fan-out start
+		// to the last ack's service completion.
+		d.tctx = a.child(d.tctx, a.self(), trace.StageFanout, "inv-fanout", d.ci, d.fanVT, d.tvt)
 		cb := d.onAcks
 		d.onAcks = nil
 		cb(rt)
@@ -512,7 +555,7 @@ func (a *Array) recallDirty(rt *cluster.Runtime, d *dentry, cont func(rt *cluste
 		d.tvt = maxi64(d.tvt, vt)
 		cont(rt)
 	}
-	a.send(&fMsg{to: int(d.owner), kind: msgRecall, chunk: d.ci, vt: d.tvt})
+	a.send(&fMsg{to: int(d.owner), kind: msgRecall, chunk: d.ci, vt: d.tvt, tc: d.tctx})
 }
 
 // downgradeDirty asks the Dirty owner to write back but keep reading.
@@ -523,14 +566,20 @@ func (a *Array) downgradeDirty(rt *cluster.Runtime, d *dentry, cont func(rt *clu
 		d.tvt = maxi64(d.tvt, vt)
 		cont(rt)
 	}
-	a.send(&fMsg{to: int(d.owner), kind: msgDowngrade, chunk: d.ci, vt: d.tvt})
+	a.send(&fMsg{to: int(d.owner), kind: msgDowngrade, chunk: d.ci, vt: d.tvt, tc: d.tctx})
 }
 
-func (a *Array) handleWBData(rt *cluster.Runtime, d *dentry, m *fabric.Message, svt int64) {
+func (a *Array) handleWBData(rt *cluster.Runtime, d *dentry, m *fabric.Message, svt int64, tc trace.Ctx) {
 	if d.onWB != nil {
 		cb := d.onWB
 		d.onWB = nil
-		cb(rt, m.Data, svt+a.copyCost(len(m.Data)))
+		end := svt + a.copyCost(len(m.Data))
+		if tc.Valid() {
+			// The writeback chain (descended from our recall/downgrade)
+			// becomes the transaction chain for the rest of the grant.
+			d.tctx = a.child(tc, a.self(), trace.StageService, "merge-wb", d.ci, svt, end)
+		}
+		cb(rt, m.Data, end)
 		return
 	}
 	if d.busy {
@@ -570,9 +619,10 @@ func (a *Array) collapseOperated(rt *cluster.Runtime, d *dentry, cont func(rt *c
 		}
 		d.opAcks = n
 		d.onOpAll = finish
+		d.fanVT = d.tvt
 		for v := 0; mask != 0; v++ {
 			if mask&1 != 0 {
-				a.send(&fMsg{to: v, kind: msgOpRecall, chunk: d.ci, vt: d.tvt})
+				a.send(&fMsg{to: v, kind: msgOpRecall, chunk: d.ci, vt: d.tvt, tc: d.tctx})
 			}
 			mask >>= 1
 		}
@@ -597,6 +647,7 @@ func (a *Array) handleOpFlush(rt *cluster.Runtime, d *dentry, m *fabric.Message,
 	if d.opAcks > 0 {
 		d.opAcks--
 		if d.opAcks == 0 {
+			d.tctx = a.child(d.tctx, a.self(), trace.StageFanout, "op-collapse", d.ci, d.fanVT, d.tvt)
 			cb := d.onOpAll
 			d.onOpAll = nil
 			cb(rt)

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"darray/internal/trace"
 )
 
 // TraceEvent is one recorded protocol step on a node.
@@ -15,11 +17,21 @@ type TraceEvent struct {
 	Kind  string // message kind or local event name
 	From  int    // requesting/sending node (-1 for local events)
 	VT    int64  // virtual time the event was serviced at
+
+	// Trace/Span link the event into the causal span tracer's id space
+	// when the op that caused it was sampled (zero otherwise), so a flat
+	// MergedTrace line can be cross-referenced against a span tree.
+	Trace uint64
+	Span  uint64
 }
 
 // String renders the event for logs.
 func (e TraceEvent) String() string {
-	return fmt.Sprintf("#%d n%d chunk %d %s from=%d vt=%d", e.Seq, e.Node, e.Chunk, e.Kind, e.From, e.VT)
+	s := fmt.Sprintf("#%d n%d chunk %d %s from=%d vt=%d", e.Seq, e.Node, e.Chunk, e.Kind, e.From, e.VT)
+	if e.Trace != 0 {
+		s += fmt.Sprintf(" trace=%x span=%x", e.Trace, e.Span)
+	}
+	return s
 }
 
 // tracer is a bounded ring of protocol events, disabled by default. It
@@ -43,6 +55,7 @@ func (a *Array) EnableTrace(depth int) {
 	a.tr.mu.Lock()
 	a.tr.ring = make([]TraceEvent, depth)
 	a.tr.pos, a.tr.full = 0, false
+	a.tr.seq = 0 // fresh recording: sequence numbers restart at 1
 	a.tr.mu.Unlock()
 	a.tr.on.Store(true)
 }
@@ -67,13 +80,14 @@ func (a *Array) TraceEvents() []TraceEvent {
 
 // trace records one event when tracing is on (a single atomic load when
 // off, so the protocol handlers can call it unconditionally).
-func (a *Array) trace(kind string, ci int64, from int, vt int64) {
+func (a *Array) trace(kind string, ci int64, from int, vt int64, tc trace.Ctx) {
 	if !a.tr.on.Load() {
 		return
 	}
 	a.tr.mu.Lock()
 	a.tr.seq++
-	ev := TraceEvent{Seq: a.tr.seq, Node: a.node.ID(), Chunk: ci, Kind: kind, From: from, VT: vt}
+	ev := TraceEvent{Seq: a.tr.seq, Node: a.node.ID(), Chunk: ci, Kind: kind, From: from, VT: vt,
+		Trace: tc.Trace, Span: tc.Span}
 	if len(a.tr.ring) == 0 {
 		a.tr.mu.Unlock()
 		return

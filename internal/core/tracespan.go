@@ -1,0 +1,71 @@
+package core
+
+import (
+	"darray/internal/cluster"
+	"darray/internal/fabric"
+	"darray/internal/trace"
+)
+
+// Causal-tracing glue between the coherence protocol and internal/trace.
+//
+// Every helper here is defensive about cost: with no tracer attached the
+// fast paths pay one nil check, with a tracer attached but disabled one
+// atomic load, and untraced messages flowing through a tracing-enabled
+// cluster pay a zero-struct comparison. Spans carry virtual time, so
+// tracing additionally requires a vtime model — without one every
+// begin/end would be zero and the spans meaningless.
+
+// traceOn reports whether spans can be recorded right now.
+func (a *Array) traceOn() bool {
+	return a.trc != nil && a.trc.Enabled() && a.model != nil
+}
+
+// rootSpan decides whether this public op is sampled and, if so, opens
+// its root context. Callers must guard with a.trc != nil so untraced
+// arrays pay only that nil check. Returns the zero Ctx when tracing is
+// off or the sampler skips this op.
+func (a *Array) rootSpan(ctx *cluster.Ctx) (trace.Ctx, int64) {
+	if !a.trc.Enabled() || a.model == nil {
+		return trace.Ctx{}, 0
+	}
+	tc := a.trc.SampleRoot()
+	if !tc.Valid() {
+		return trace.Ctx{}, 0
+	}
+	return tc, ctx.Clock.Now()
+}
+
+// endRoot closes a sampled op's root span at the thread's current
+// virtual time. Call sites guard on tc.Trace != 0.
+func (a *Array) endRoot(ctx *cluster.Ctx, tc trace.Ctx, name string, ci, t0 int64) {
+	a.trc.RecordRoot(tc, int32(a.self()), name, ci, t0, ctx.Clock.Now())
+}
+
+// child chains one span onto tc, tolerating a nil tracer and a zero
+// context (both no-ops returning tc unchanged).
+func (a *Array) child(tc trace.Ctx, node int, stage trace.Stage, name string, chunk, begin, end int64) trace.Ctx {
+	if !tc.Valid() || a.trc == nil {
+		return tc
+	}
+	return a.trc.Child(tc, int32(node), stage, name, chunk, begin, end)
+}
+
+// msgSpans emits the transport-stage spans for one received traced
+// message — sender doorbell-queue wait, wire flight, retransmission
+// delay, receiver RPC-queue wait, and the handler's service slot — and
+// returns the chained context for the handler's protocol action.
+// Zero-length stages are skipped by Child, so e.g. the retransmit span
+// only appears on messages the fault layer actually delayed.
+func (a *Array) msgSpans(m *fabric.Message, start, end int64) trace.Ctx {
+	tc := trace.Ctx{Trace: m.Trace, Span: m.PSpan}
+	if !tc.Valid() || !a.traceOn() {
+		return trace.Ctx{}
+	}
+	wireEnd := m.VT - m.RetransNs
+	tc = a.child(tc, m.From, trace.StageQueue, "tx-queue", m.Chunk, m.QueuedVT, m.SendVT)
+	tc = a.child(tc, m.From, trace.StageWire, "wire", m.Chunk, m.SendVT, wireEnd)
+	tc = a.child(tc, m.From, trace.StageRetransmit, "retransmit", m.Chunk, wireEnd, m.VT)
+	tc = a.child(tc, a.self(), trace.StageQueue, "rx-queue", m.Chunk, m.VT, start)
+	tc = a.child(tc, a.self(), trace.StageService, kindName(m.Kind), m.Chunk, start, end)
+	return tc
+}

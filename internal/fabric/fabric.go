@@ -86,6 +86,26 @@ type Message struct {
 	VT     int64
 	SendVT int64
 
+	// Causal-tracing context (internal/trace); zero means untraced.
+	// Trace/PSpan identify the trace and parent span this message
+	// belongs to. QueuedVT preserves the producer's ready time — the Tx
+	// thread overwrites SendVT with the post-doorbell time, and the
+	// receiver needs both ends of the doorbell-queue interval. RetransNs
+	// is the share of the delivery latency the lossy wire added (filled
+	// by Post); the receiver splits it out as its own trace stage.
+	Trace     uint64
+	PSpan     uint64
+	QueuedVT  int64
+	RetransNs int64
+
+	// CoalTC carries the absorbed commands' trace contexts alongside a
+	// coalesced message, as flat [trace, pspan, queuedVT] triples
+	// parallel to Data's chunk indexes (shorter-than-Data means the tail
+	// is untraced). Like the header context above it is metadata the
+	// simulation threads out of band — it does not count toward Bytes(),
+	// the way a real fabric carries trace IDs in fixed header space.
+	CoalTC []uint64
+
 	// wireSeq is the per-queue-pair sequence number stamped by Post and
 	// verified by Poll: duplicates are discarded, gaps panic (the RC
 	// layer must never reorder or lose an acknowledged SEND).
@@ -343,10 +363,15 @@ func (e *Endpoint) Post(m *Message) error {
 	}
 	var dup bool
 	if fp := e.fab.cfg.Faults; fp != nil {
+		faultFree := m.VT
 		var err error
 		if dup, err = e.faultWire(fp, m, mdl); err != nil {
 			return err
 		}
+		// Everything faultWire folded into the delivery time —
+		// go-back-N resends, stall windows, in-order clamping — is
+		// retransmission-layer delay for latency attribution.
+		m.RetransNs = m.VT - faultFree
 	}
 	e.stats.MsgsSent.Add(1)
 	e.stats.BytesSent.Add(int64(m.Bytes()))

@@ -3,13 +3,50 @@ package telemetry
 import (
 	"expvar"
 	"net/http"
+	"sync"
 )
+
+// published tracks which expvar names this package has claimed, and for
+// each a swappable pointer to the registry currently serving it. expvar
+// itself panics on duplicate Publish, which makes re-registration (a
+// test building two clusters, a server restarting its telemetry) a
+// process-killing hazard; routing reads through an indirection slot
+// turns the second Publish of a name into a cheap pointer swap.
+var published struct {
+	sync.Mutex
+	slots map[string]*slot
+}
+
+type slot struct {
+	mu sync.RWMutex
+	r  *Registry
+}
+
+func (s *slot) get() *Registry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.r
+}
 
 // Publish registers the registry under name in the process-wide expvar
 // namespace, so /debug/vars serves a live snapshot. Publishing the same
-// name twice panics (expvar semantics); call once per process.
+// name again is idempotent: the name is rebound to the new registry
+// instead of panicking with expvar's duplicate-name error.
 func (r *Registry) Publish(name string) {
-	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	published.Lock()
+	defer published.Unlock()
+	if published.slots == nil {
+		published.slots = make(map[string]*slot)
+	}
+	if s, ok := published.slots[name]; ok {
+		s.mu.Lock()
+		s.r = r
+		s.mu.Unlock()
+		return
+	}
+	s := &slot{r: r}
+	published.slots[name] = s
+	expvar.Publish(name, expvar.Func(func() any { return s.get().Snapshot() }))
 }
 
 // Handler returns an http.Handler serving the current snapshot: JSON by

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"expvar"
+	"strings"
+	"testing"
+)
+
+// TestPublishIdempotent covers the re-registration hazard: expvar itself
+// panics on a duplicate name, so publishing the same name from a second
+// registry (a test building two clusters, a restarting server) must
+// rebind instead of killing the process, and /debug/vars must serve the
+// newest registry.
+func TestPublishIdempotent(t *testing.T) {
+	const name = "telemetry-test-idempotent"
+
+	r1 := New()
+	r1.Enable()
+	r1.Counter("first.registry.counter", 0).Add(1)
+	r1.Publish(name)
+
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatal("Publish did not register with expvar")
+	}
+	if !strings.Contains(v.String(), "first.registry.counter") {
+		t.Fatalf("expvar serves wrong snapshot: %s", v.String())
+	}
+
+	r2 := New()
+	r2.Enable()
+	r2.Counter("second.registry.counter", 0).Add(2)
+	r2.Publish(name) // must not panic, must rebind
+
+	out := expvar.Get(name).String()
+	if !strings.Contains(out, "second.registry.counter") {
+		t.Fatalf("expvar still serves the old registry after re-Publish: %s", out)
+	}
+	if strings.Contains(out, "first.registry.counter") {
+		t.Fatalf("expvar mixes registries after re-Publish: %s", out)
+	}
+
+	// Re-publishing the same registry is a no-op, not a panic.
+	r2.Publish(name)
+}

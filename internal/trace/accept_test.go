@@ -1,0 +1,190 @@
+// Acceptance tests for the tracing subsystem as threaded through the
+// real protocol stack: a YCSB-B-shaped KVS run and a bulk GetRange run
+// each produce a Perfetto-loadable export whose span graph is fully
+// linked and whose critical path attributes >= 95% of the longest root
+// op's virtual time to named stages.
+package trace_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"darray/internal/cluster"
+	"darray/internal/core"
+	"darray/internal/kvs"
+	"darray/internal/trace"
+	"darray/internal/vtime"
+	"darray/internal/ycsb"
+)
+
+// checkExport exercises the full acceptance pipeline on a recorded
+// tracer: write the Chrome trace, parse the raw JSON, reload the spans,
+// verify linkage, and require critical-path coverage of the longest
+// root.
+func checkExport(t *testing.T, trc *trace.Tracer) {
+	t.Helper()
+	spans := trc.Spans()
+	if len(spans) == 0 {
+		t.Fatal("workload recorded no spans")
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := trc.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	// The raw bytes must be valid Chrome trace-event JSON.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("exported file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < len(spans) {
+		t.Fatalf("export holds %d events for %d spans", len(doc.TraceEvents), len(spans))
+	}
+
+	// Round-trip: reloaded spans must match what the tracer holds.
+	loaded, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(loaded) != len(spans) {
+		t.Fatalf("round-trip lost spans: wrote %d, read %d", len(spans), len(loaded))
+	}
+
+	// Every non-root span's parent must be a live span of the same trace
+	// (only guaranteed when the ring did not drop).
+	if trc.Dropped() == 0 {
+		byID := make(map[uint64]trace.Span, len(loaded))
+		for _, s := range loaded {
+			byID[s.ID] = s
+		}
+		for _, s := range loaded {
+			if s.Parent == 0 {
+				continue
+			}
+			p, ok := byID[s.Parent]
+			if !ok {
+				t.Fatalf("span %x (%s) has dangling parent %x", s.ID, s.Name, s.Parent)
+			}
+			if p.Trace != s.Trace {
+				t.Fatalf("span %x parent crosses traces: %x vs %x", s.ID, s.Trace, p.Trace)
+			}
+		}
+	}
+
+	// The critical path of the slowest sampled op must attribute >= 95%
+	// of its virtual time to named stages.
+	root := trace.LongestRoot(loaded)
+	if root.Trace == 0 {
+		t.Fatal("no root spans in export")
+	}
+	cp := trace.CriticalPath(loaded, root)
+	if cov := cp.Coverage(); cov < 0.95 {
+		t.Errorf("critical path covers %.1f%% of root %s (%.0fns), want >= 95%%\n%s",
+			100*cov, root.Name, float64(root.Dur()), cp.Report())
+		dumpGaps(t, loaded, root)
+	}
+	for stage, ns := range cp.ByStage {
+		if ns < 0 {
+			t.Errorf("stage %s blamed negative time %d", stage, ns)
+		}
+	}
+}
+
+// TestAcceptanceYCSB runs a small YCSB-B-shaped workload (95% gets,
+// zipfian keys) on the DArray KVS with tracing on.
+func TestAcceptanceYCSB(t *testing.T) {
+	trc := trace.New(0)
+	trc.Enable(1)
+	c := cluster.New(cluster.Config{
+		Nodes: 3, ChunkWords: 64, CacheChunks: 64,
+		Model:       vtime.Default(),
+		Tracer:      trc,
+		MsgKindName: core.KindName,
+	})
+	defer c.Close()
+
+	const records = 512
+	c.Run(func(n *cluster.Node) {
+		store := kvs.NewDArray(n, kvs.Config{Buckets: 64, ByteWords: 3 * records * 24})
+		ctx := n.NewCtx(0)
+		gen := ycsb.NewGenerator(ycsb.Config{Records: records, ValueLen: 64, Seed: 7})
+		per := int64(records / 3)
+		lo := int64(n.ID()) * per
+		hi := lo + per
+		if n.ID() == 2 {
+			hi = records
+		}
+		for r := lo; r < hi; r++ {
+			if err := store.Put(ctx, ycsb.Key(r), gen.LoadValue(r)); err != nil {
+				t.Errorf("load Put: %v", err)
+				return
+			}
+		}
+		c.Barrier(ctx)
+		g := ycsb.NewGenerator(ycsb.Config{
+			Records: records, GetRatio: 0.95, Theta: 0.99,
+			ValueLen: 64, Seed: int64(n.ID() + 1),
+		})
+		for k := 0; k < 300; k++ {
+			op := g.Next()
+			switch op.Kind {
+			case ycsb.OpGet:
+				_, _ = store.Get(ctx, op.Key)
+			case ycsb.OpPut:
+				if err := store.Put(ctx, op.Key, op.Val); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}
+		c.Barrier(ctx)
+	})
+
+	checkExport(t, trc)
+}
+
+// TestAcceptanceGetRange runs a cross-node bulk read with tracing on.
+func TestAcceptanceGetRange(t *testing.T) {
+	trc := trace.New(0)
+	trc.Enable(1)
+	c := cluster.New(cluster.Config{
+		Nodes: 3, ChunkWords: 64, CacheChunks: 64,
+		Model:       vtime.Default(),
+		Tracer:      trc,
+		MsgKindName: core.KindName,
+	})
+	defer c.Close()
+
+	const n = 3 * 64 * 8
+	c.Run(func(node *cluster.Node) {
+		a := core.New(node, n)
+		ctx := node.NewCtx(0)
+		lo, hi := a.LocalRange()
+		for i := lo; i < hi; i++ {
+			a.Set(ctx, i, uint64(i)+1)
+		}
+		c.Barrier(ctx)
+		if node.ID() == 0 {
+			dst := make([]uint64, n)
+			a.GetRange(ctx, 0, dst)
+			for i, v := range dst {
+				if v != uint64(i)+1 {
+					t.Errorf("dst[%d] = %d, want %d", i, v, i+1)
+					break
+				}
+			}
+		}
+		c.Barrier(ctx)
+	})
+
+	checkExport(t, trc)
+}

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Critical-path analysis: given a finished trace, walk backwards from
+// the root span's end picking, at every instant, the span that extends
+// the causal chain furthest back in virtual time. The result blames
+// each segment of the root's latency on one span (and its Stage), which
+// is the decomposition the paper's round-trip accounting talks about:
+// a slow Get is some mix of runtime queueing, wire time, retransmit
+// stalls, home-directory service, and invalidation fan-out.
+//
+// The walk is time-window greedy rather than a strict DAG walk: any
+// same-trace span overlapping the unexplained window may be chosen,
+// whether it descends from the request chain or from the grant chain
+// the home node started — both causally feed the op's completion.
+
+// CritStep is one blamed segment of a critical path.
+type CritStep struct {
+	Span  Span
+	Begin int64 // blamed interval (clamped to the root window)
+	End   int64
+}
+
+// CritPath is the critical-path decomposition of one root span.
+type CritPath struct {
+	Root         Span
+	Steps        []CritStep // in causal (forward) order
+	ByStage      map[Stage]int64
+	Unattributed int64
+}
+
+// Coverage returns the fraction of the root's duration attributed to
+// named stages (1.0 = every nanosecond blamed on some span).
+func (cp *CritPath) Coverage() float64 {
+	d := cp.Root.Dur()
+	if d <= 0 {
+		return 1
+	}
+	return float64(d-cp.Unattributed) / float64(d)
+}
+
+// LongestRoot returns the root span (StageOp) with the largest duration,
+// or a zero Span if spans holds no roots.
+func LongestRoot(spans []Span) Span {
+	var best Span
+	for _, s := range spans {
+		if s.Stage == StageOp && s.Dur() >= best.Dur() {
+			if best.ID == 0 || s.Dur() > best.Dur() {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// Roots returns every root span, in recording order.
+func Roots(spans []Span) []Span {
+	var out []Span
+	for _, s := range spans {
+		if s.Stage == StageOp {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CriticalPath computes the critical-path decomposition of root over
+// the given span set.
+func CriticalPath(spans []Span, root Span) *CritPath {
+	cp := &CritPath{Root: root, ByStage: make(map[Stage]int64)}
+	if root.Dur() <= 0 {
+		return cp
+	}
+	// Candidates: same-trace non-root spans with time inside the window.
+	var cands []Span
+	for _, s := range spans {
+		if s.Trace != root.Trace || s.ID == root.ID || s.Stage == StageOp {
+			continue
+		}
+		if s.End <= root.Begin || s.Begin >= root.End {
+			continue
+		}
+		cands = append(cands, s)
+	}
+	cur := root.End
+	used := make(map[uint64]bool)
+	for cur > root.Begin {
+		// Pick the span reaching closest to cur from below while
+		// starting earliest: maximize min(End, cur), tie-break on the
+		// smaller Begin (explains the most time in one step).
+		best := -1
+		var bestEnd, bestBegin int64
+		for i, s := range cands {
+			if used[s.ID] || s.Begin >= cur {
+				continue
+			}
+			e := s.End
+			if e > cur {
+				e = cur
+			}
+			b := s.Begin
+			if b < root.Begin {
+				b = root.Begin
+			}
+			if e <= b {
+				continue
+			}
+			if best == -1 || e > bestEnd || (e == bestEnd && b < bestBegin) {
+				best, bestEnd, bestBegin = i, e, b
+			}
+		}
+		if best == -1 {
+			cp.Unattributed += cur - root.Begin
+			break
+		}
+		s := cands[best]
+		used[s.ID] = true
+		if bestEnd < cur {
+			cp.Unattributed += cur - bestEnd
+		}
+		cp.Steps = append(cp.Steps, CritStep{Span: s, Begin: bestBegin, End: bestEnd})
+		cp.ByStage[s.Stage] += bestEnd - bestBegin
+		cur = bestBegin
+	}
+	// Recorded backwards; flip to causal order.
+	for i, j := 0, len(cp.Steps)-1; i < j; i, j = i+1, j-1 {
+		cp.Steps[i], cp.Steps[j] = cp.Steps[j], cp.Steps[i]
+	}
+	return cp
+}
+
+// Report renders the critical path: the blamed chain step by step, then
+// the per-stage share of the root latency.
+func (cp *CritPath) Report() string {
+	var b strings.Builder
+	d := cp.Root.Dur()
+	fmt.Fprintf(&b, "critical path: trace %d root %s (chunk %d, node %d, %d ns)\n",
+		cp.Root.Trace, cp.Root.Name, cp.Root.Chunk, cp.Root.Node, d)
+	for _, st := range cp.Steps {
+		ns := st.End - st.Begin
+		pct := 0.0
+		if d > 0 {
+			pct = 100 * float64(ns) / float64(d)
+		}
+		fmt.Fprintf(&b, "  %8dns %5.1f%%  n%-3d %-10s %s\n",
+			ns, pct, st.Span.Node, st.Span.Stage.String(), st.Span.Name)
+	}
+	b.WriteString("  blame:")
+	for _, st := range Stages() {
+		ns := cp.ByStage[st]
+		if ns == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, " %s=%.1f%%", st.String(), 100*float64(ns)/float64(d))
+	}
+	fmt.Fprintf(&b, " unattributed=%.1f%%\n", 100*(1-cp.Coverage()))
+	return b.String()
+}
+
+// Summarize renders a one-screen digest of a span set: counts, the
+// stage table rebuilt from the spans, and the critical path of the
+// longest root. Shared by the cmd-line tools.
+func Summarize(spans []Span) string {
+	var b strings.Builder
+	roots := Roots(spans)
+	fmt.Fprintf(&b, "%d spans, %d traces\n", len(spans), len(roots))
+	if len(spans) == 0 {
+		return b.String()
+	}
+	b.WriteString(StageTable(spans))
+	if root := LongestRoot(spans); root.ID != 0 {
+		b.WriteString(CriticalPath(spans, root).Report())
+	}
+	return b.String()
+}
+
+// StageTable renders the per-stage duration decomposition of a span
+// set (used when only exported spans, not a live Tracer, are at hand).
+func StageTable(spans []Span) string {
+	type agg struct {
+		n     int64
+		total int64
+		max   int64
+	}
+	var by [numStages]agg
+	for _, s := range spans {
+		a := &by[s.Stage]
+		a.n++
+		a.total += s.Dur()
+		if s.Dur() > a.max {
+			a.max = s.Dur()
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %10s %12s\n", "stage", "spans", "max(ns)", "total(ns)")
+	for st := Stage(0); st < numStages; st++ {
+		a := by[st]
+		if a.n == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %8d %10d %12d\n", st.String(), a.n, a.max, a.total)
+	}
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Chrome trace-event JSON export (the format Perfetto and
+// chrome://tracing load). One process (pid) per node, spans packed
+// greedily into lanes (tid) so overlapping spans on a node render on
+// separate tracks, and flow events ("s"/"f" pairs) drawing an arrow for
+// every parent→child edge that crosses nodes — the causal hops of the
+// protocol. Timestamps are microsecond floats as the format demands;
+// the exact integer span fields ride in args so ReadFile can
+// reconstruct spans losslessly.
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int64          `json:"pid"`
+	TID   int64          `json:"tid"`
+	ID    uint64         `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// laneOf assigns each span on one node to the first lane whose previous
+// span has ended — the usual greedy interval-graph coloring, so
+// concurrent transactions stack instead of overdrawing each other.
+func assignLanes(spans []Span) map[uint64]int64 {
+	byNode := map[int32][]int{}
+	for i := range spans {
+		byNode[spans[i].Node] = append(byNode[spans[i].Node], i)
+	}
+	lanes := make(map[uint64]int64, len(spans))
+	for _, idxs := range byNode {
+		sort.SliceStable(idxs, func(a, b int) bool {
+			si, sj := spans[idxs[a]], spans[idxs[b]]
+			if si.Begin != sj.Begin {
+				return si.Begin < sj.Begin
+			}
+			return sj.End < si.End // wider first so parents take lane 0
+		})
+		var laneEnd []int64
+		for _, i := range idxs {
+			s := spans[i]
+			placed := false
+			for ln := range laneEnd {
+				if laneEnd[ln] <= s.Begin {
+					laneEnd[ln] = s.End
+					lanes[s.ID] = int64(ln)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				lanes[s.ID] = int64(len(laneEnd))
+				laneEnd = append(laneEnd, s.End)
+			}
+		}
+	}
+	return lanes
+}
+
+// WriteJSON writes spans as Chrome trace-event JSON to w.
+func WriteJSON(w io.Writer, spans []Span) error {
+	lanes := assignLanes(spans)
+	byID := make(map[uint64]*Span, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	nodes := map[int32]bool{}
+	out := chromeFile{DisplayUnit: "ns"}
+	for i := range spans {
+		s := &spans[i]
+		if !nodes[s.Node] {
+			nodes[s.Node] = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "process_name", Phase: "M", PID: int64(s.Node),
+				Args: map[string]any{"name": fmt.Sprintf("node %d", s.Node)},
+			})
+		}
+		dur := float64(s.Dur()) / 1e3
+		if dur == 0 {
+			dur = 0.001 // keep zero-length roots visible
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Name, Cat: s.Stage.String(), Phase: "X",
+			TS: float64(s.Begin) / 1e3, Dur: dur,
+			PID: int64(s.Node), TID: lanes[s.ID],
+			Args: map[string]any{
+				"trace": s.Trace, "span": s.ID, "parent": s.Parent,
+				"chunk": s.Chunk, "stage": int(s.Stage),
+				"begin_ns": s.Begin, "end_ns": s.End,
+			},
+		})
+		// Cross-node causal edge: arrow from the parent's end to this
+		// span's begin.
+		if p, ok := byID[s.Parent]; ok && p.Node != s.Node {
+			out.TraceEvents = append(out.TraceEvents,
+				chromeEvent{Name: "causal", Cat: "flow", Phase: "s", ID: s.ID,
+					TS: float64(p.End) / 1e3, PID: int64(p.Node), TID: lanes[p.ID]},
+				chromeEvent{Name: "causal", Cat: "flow", Phase: "f", BP: "e", ID: s.ID,
+					TS: float64(s.Begin) / 1e3, PID: int64(s.Node), TID: lanes[s.ID]})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ExportFile writes spans as Chrome trace-event JSON to path.
+func ExportFile(path string, spans []Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := WriteJSON(bw, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteFile exports the tracer's retained spans to path.
+func (t *Tracer) WriteFile(path string) error { return ExportFile(path, t.Spans()) }
+
+// ReadFile loads spans back from an exported Chrome trace-event file,
+// reconstructing them from the exact integer fields carried in args.
+// Metadata and flow events are skipped.
+func ReadFile(path string) ([]Span, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			PID   int64  `json:"pid"`
+			Args  struct {
+				Trace   uint64 `json:"trace"`
+				Span    uint64 `json:"span"`
+				Parent  uint64 `json:"parent"`
+				Chunk   int64  `json:"chunk"`
+				Stage   int    `json:"stage"`
+				BeginNS int64  `json:"begin_ns"`
+				EndNS   int64  `json:"end_ns"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return nil, fmt.Errorf("trace: %s is not a Chrome trace-event file: %w", path, err)
+	}
+	var spans []Span
+	for _, ev := range file.TraceEvents {
+		if ev.Phase != "X" || ev.Args.Span == 0 {
+			continue
+		}
+		spans = append(spans, Span{
+			Trace: ev.Args.Trace, ID: ev.Args.Span, Parent: ev.Args.Parent,
+			Node: int32(ev.PID), Stage: Stage(ev.Args.Stage), Name: ev.Name,
+			Chunk: ev.Args.Chunk, Begin: ev.Args.BeginNS, End: ev.Args.EndNS,
+		})
+	}
+	return spans, nil
+}

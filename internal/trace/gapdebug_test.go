@@ -1,0 +1,40 @@
+package trace_test
+
+// Temporary debug helper: prints the uncovered sub-intervals of a root.
+
+import (
+	"sort"
+	"testing"
+
+	"darray/internal/trace"
+)
+
+func dumpGaps(t *testing.T, spans []trace.Span, root trace.Span) {
+	t.Helper()
+	var same []trace.Span
+	for _, s := range spans {
+		if s.Trace == root.Trace && s.ID != root.ID {
+			same = append(same, s)
+		}
+	}
+	sort.Slice(same, func(i, j int) bool { return same[i].Begin < same[j].Begin })
+	t.Logf("root %s [%d,%d] dur=%d, %d spans in trace", root.Name, root.Begin, root.End, root.Dur(), len(same))
+	cur := root.Begin
+	for _, s := range same {
+		if s.End <= cur || s.Begin >= root.End {
+			continue
+		}
+		if s.Begin > cur {
+			t.Logf("  GAP [%d,%d] dur=%d (before %s@n%d [%d,%d])", cur, s.Begin, s.Begin-cur, s.Name, s.Node, s.Begin, s.End)
+		}
+		if s.End > cur {
+			cur = s.End
+		}
+	}
+	if cur < root.End {
+		t.Logf("  GAP [%d,%d] dur=%d (tail)", cur, root.End, root.End-cur)
+	}
+	for _, s := range same {
+		t.Logf("  span %s@n%d stage=%v [%d,%d] id=%x par=%x", s.Name, s.Node, s.Stage, s.Begin, s.End, s.ID, s.Parent)
+	}
+}

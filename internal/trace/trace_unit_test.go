@@ -1,0 +1,286 @@
+package trace
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"darray/internal/telemetry"
+)
+
+func TestDisabledTracerEmitsNothing(t *testing.T) {
+	tr := New(16)
+	if tc := tr.SampleRoot(); tc.Valid() {
+		t.Fatalf("disabled tracer sampled a root: %+v", tc)
+	}
+	tc := Ctx{Trace: 1, Span: 1}
+	if got := tr.Child(tc, 0, StageService, "x", 0, 0, 10); got != tc {
+		t.Fatalf("disabled Child changed ctx: %+v", got)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("disabled tracer recorded %d spans", tr.Len())
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := New(0)
+	tr.Enable(4)
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		if tr.SampleRoot().Valid() {
+			sampled++
+		}
+	}
+	if sampled != 25 {
+		t.Fatalf("sample=4 over 100 ops sampled %d, want 25", sampled)
+	}
+}
+
+func TestChildChainsAndSkipsEmpty(t *testing.T) {
+	tr := New(0)
+	tr.Enable(1)
+	root := tr.SampleRoot()
+	c1 := tr.Child(root, 0, StageQueue, "q", 7, 100, 200)
+	if c1 == root {
+		t.Fatal("nonzero child did not advance the chain")
+	}
+	// Zero-length interval: skipped, chain unchanged.
+	c2 := tr.Child(c1, 0, StageWire, "w", 7, 200, 200)
+	if c2 != c1 {
+		t.Fatalf("zero-length child advanced the chain: %+v", c2)
+	}
+	c3 := tr.Child(c2, 1, StageService, "s", 7, 200, 450)
+	tr.RecordRoot(root, 0, "Get", 7, 100, 500)
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Parent != root.Span || spans[1].Parent != spans[0].ID {
+		t.Fatalf("bad parent chain: %+v", spans)
+	}
+	if c3.Trace != root.Trace {
+		t.Fatal("chain changed trace id")
+	}
+	// Root: ID == Trace, Parent == 0.
+	var rs *Span
+	for i := range spans {
+		if spans[i].Stage == StageOp {
+			rs = &spans[i]
+		}
+	}
+	if rs == nil || rs.ID != rs.Trace || rs.Parent != 0 {
+		t.Fatalf("bad root span: %+v", rs)
+	}
+}
+
+func TestCapacityDropsKeepLinks(t *testing.T) {
+	tr := New(2)
+	tr.Enable(1)
+	root := tr.SampleRoot()
+	c := root
+	for i := 0; i < 10; i++ {
+		c = tr.Child(c, 0, StageService, "s", 0, int64(i*10), int64(i*10+5))
+	}
+	if tr.Dropped() != 8 {
+		t.Fatalf("dropped=%d, want 8", tr.Dropped())
+	}
+	spans := tr.Spans()
+	ids := map[uint64]bool{root.Span: true}
+	for _, s := range spans {
+		if !ids[s.Parent] {
+			t.Fatalf("span %+v parents a dropped span", s)
+		}
+		ids[s.ID] = true
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(0)
+	tr.Enable(1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				root := tr.SampleRoot()
+				c := tr.Child(root, 0, StageQueue, "q", 0, 0, 10)
+				tr.Child(c, 1, StageService, "s", 0, 10, 20)
+				tr.RecordRoot(root, 0, "op", 0, 0, 20)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 8*200*3 {
+		t.Fatalf("got %d spans, want %d", got, 8*200*3)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	tr := New(0)
+	tr.Enable(1)
+	root := tr.SampleRoot()
+	tr.Child(root, 0, StageWire, "w", 0, 0, 900)
+	tr.RecordRoot(root, 0, "Get", 0, 0, 1000)
+	reg := telemetry.New()
+	reg.AddCollector(tr.Collector())
+	snap := reg.Snapshot()
+	if m, ok := snap.Get("trace/spans"); !ok || m.Total() != 2 {
+		t.Fatalf("trace/spans metric missing or wrong: %+v", m)
+	}
+	if m, ok := snap.Get("trace/stage/wire"); !ok || m.Hist == nil || m.Hist.Count != 1 {
+		t.Fatalf("trace/stage/wire histogram missing: %+v", m)
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	tr := New(0)
+	tr.Enable(1)
+	root := tr.SampleRoot()
+	c := tr.Child(root, 0, StageQueue, "txq", 3, 100, 180)
+	c = tr.Child(c, 0, StageWire, "wire", 3, 180, 1080)
+	c = tr.Child(c, 1, StageService, "read-req", 3, 1080, 1330)
+	tr.Child(c, 1, StageFanout, "inv-fanout", 3, 1330, 2330)
+	tr.RecordRoot(root, 0, "Get", 3, 50, 2500)
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// The file must be generic valid JSON with a traceEvents array.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var generic map[string]any
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		t.Fatalf("exported file is not valid JSON: %v", err)
+	}
+	if _, ok := generic["traceEvents"].([]any); !ok {
+		t.Fatal("exported file has no traceEvents array")
+	}
+
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := tr.Spans()
+	if len(back) != len(orig) {
+		t.Fatalf("round trip lost spans: %d != %d", len(back), len(orig))
+	}
+	byID := map[uint64]Span{}
+	for _, s := range back {
+		byID[s.ID] = s
+	}
+	for _, s := range orig {
+		if byID[s.ID] != s {
+			t.Fatalf("span %v came back as %v", s, byID[s.ID])
+		}
+	}
+}
+
+func TestFlowEventsForCrossNodeEdges(t *testing.T) {
+	tr := New(0)
+	tr.Enable(1)
+	root := tr.SampleRoot()
+	c := tr.Child(root, 0, StageQueue, "txq", 0, 0, 100)
+	tr.Child(c, 1, StageService, "read-req", 0, 100, 300) // node 0 -> node 1 edge
+	tr.RecordRoot(root, 0, "Get", 0, 0, 400)
+	path := filepath.Join(t.TempDir(), "t.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	var f struct {
+		TraceEvents []struct {
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	var flows int
+	for _, ev := range f.TraceEvents {
+		if ev.Phase == "s" || ev.Phase == "f" {
+			flows++
+		}
+	}
+	if flows != 2 {
+		t.Fatalf("got %d flow events, want 2 (one s/f pair)", flows)
+	}
+}
+
+func TestCriticalPathBlame(t *testing.T) {
+	// Root [0,1000): queue [0,200) -> wire [200,500) -> service [500,950),
+	// gap [950,1000) unattributed.
+	spans := []Span{
+		{Trace: 1, ID: 1, Stage: StageOp, Name: "Get", Begin: 0, End: 1000},
+		{Trace: 1, ID: 2, Parent: 1, Stage: StageQueue, Begin: 0, End: 200},
+		{Trace: 1, ID: 3, Parent: 2, Stage: StageWire, Begin: 200, End: 500},
+		{Trace: 1, ID: 4, Parent: 3, Stage: StageService, Begin: 500, End: 950},
+		// A span from another trace must be ignored.
+		{Trace: 2, ID: 5, Stage: StageService, Begin: 0, End: 1000},
+	}
+	root := LongestRoot(spans)
+	if root.ID != 1 {
+		t.Fatalf("LongestRoot picked %+v", root)
+	}
+	cp := CriticalPath(spans, root)
+	if cp.ByStage[StageQueue] != 200 || cp.ByStage[StageWire] != 300 || cp.ByStage[StageService] != 450 {
+		t.Fatalf("bad blame: %+v", cp.ByStage)
+	}
+	if cp.Unattributed != 50 {
+		t.Fatalf("unattributed=%d, want 50", cp.Unattributed)
+	}
+	if got, want := cp.Coverage(), 0.95; got != want {
+		t.Fatalf("coverage=%v, want %v", got, want)
+	}
+	if len(cp.Steps) != 3 || cp.Steps[0].Span.ID != 2 || cp.Steps[2].Span.ID != 4 {
+		t.Fatalf("bad step order: %+v", cp.Steps)
+	}
+	if r := cp.Report(); r == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestCriticalPathPrefersOverlappingCoverage(t *testing.T) {
+	// Two spans end at the same instant; the one beginning earlier must
+	// win so more of the window is explained in one step.
+	spans := []Span{
+		{Trace: 1, ID: 1, Stage: StageOp, Begin: 0, End: 100},
+		{Trace: 1, ID: 2, Stage: StageService, Begin: 60, End: 100},
+		{Trace: 1, ID: 3, Stage: StageQueue, Begin: 0, End: 100},
+	}
+	cp := CriticalPath(spans, spans[0])
+	if cp.Unattributed != 0 {
+		t.Fatalf("unattributed=%d, want 0", cp.Unattributed)
+	}
+	if len(cp.Steps) != 1 || cp.Steps[0].Span.ID != 3 {
+		t.Fatalf("expected single full-window step, got %+v", cp.Steps)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	spans := []Span{
+		{Trace: 1, ID: 1, Stage: StageOp, Name: "Get", Begin: 0, End: 100},
+		{Trace: 1, ID: 2, Parent: 1, Stage: StageService, Name: "s", Begin: 0, End: 100},
+	}
+	s := Summarize(spans)
+	if s == "" || !contains(s, "critical path") || !contains(s, "service") {
+		t.Fatalf("bad summary:\n%s", s)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}
