@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-diff bufdebug stream chaos trace check
+.PHONY: build test race vet bench bench-json bench-diff bufdebug stream chaos trace hotspot check
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,13 @@ stream:
 chaos:
 	$(GO) test -run 'TestChaos' -count=1 ./internal/chaos/
 
+# Function-shipping smoke: the RMW-heavy hotspot crossover tables
+# (skew x ship mode) at CI scale, plus the crossover acceptance gate
+# (auto >= 1.5x off at theta=0.99, auto within 5% of off at theta=0).
+hotspot:
+	$(GO) run ./cmd/darray-bench -fig hotspot -max-nodes 6
+	$(GO) test -run 'TestHotspot|TestShip' -count=1 ./internal/bench/ ./internal/core/
+
 # Tracing smoke: a small traced KVS workload exports a Perfetto-loadable
 # trace, the analyzer reloads it, and the acceptance tests verify that
 # the exported JSON parses, every non-root span links to a live parent,
@@ -57,4 +64,4 @@ trace:
 	$(GO) run ./cmd/darray-trace $(or $(TMPDIR),/tmp)/darray-trace-smoke.json
 	$(GO) test -run 'TestAcceptance' -count=1 ./internal/trace/
 
-check: build vet test race stream chaos bufdebug trace
+check: build vet test race stream chaos bufdebug trace hotspot

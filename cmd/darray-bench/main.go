@@ -58,6 +58,7 @@ func main() {
 		prefetch   = flag.Int("prefetch", 0, "chunks prefetched on a sequential miss (0 default, -1 disables prefetch and the detector)")
 		noCoalesce = flag.Bool("no-coalesce", false, "disable destination coalescing of coherence commands")
 		noPool     = flag.Bool("no-pool", false, "disable the zero-copy buffer pool (allocate-per-message ablation)")
+		ship       = flag.String("ship", "auto", "function-shipping mode: auto (per-chunk contention estimator), on, off")
 		benchDiff  = flag.Bool("bench-diff", false, "run the micro suite pooled and NoPool, print a ns/op and allocs/op comparison")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -117,6 +118,7 @@ func main() {
 	p.PrefetchAhead = *prefetch
 	p.DisableCoalesce = *noCoalesce
 	p.NoPool = *noPool
+	p.Ship = *ship
 	if *metricAddr != "" {
 		*metrics = true
 	}

@@ -42,6 +42,7 @@ func main() {
 		prefetch   = flag.Int("prefetch", 0, "chunks prefetched on a sequential miss (0 default, -1 disables prefetch and the detector)")
 		noCoalesce = flag.Bool("no-coalesce", false, "disable destination coalescing of coherence commands")
 		noPool     = flag.Bool("no-pool", false, "disable the zero-copy buffer pool (allocate-per-message ablation)")
+		ship       = flag.String("ship", "auto", "function-shipping mode: auto (per-chunk contention estimator), on, off")
 		traceOut   = flag.String("trace-out", "", "record causal spans and write a Perfetto-loadable Chrome trace to this file (enables the virtual-time model)")
 		traceEvery = flag.Int("trace-sample", 1, "with -trace-out, sample every Nth public op as a trace root")
 	)
@@ -60,6 +61,7 @@ func main() {
 		PrefetchAhead:   *prefetch,
 		DisableCoalesce: *noCoalesce,
 		NoPool:          *noPool,
+		Ship:            *ship,
 	}
 	var plan *fault.Plan
 	if *chaosOn {

@@ -33,6 +33,7 @@ func main() {
 		records    = flag.Int64("records", 50000, "distinct keys")
 		ops        = flag.Int("ops", 20000, "operations per thread")
 		getRatio   = flag.Float64("get-ratio", 0.95, "fraction of gets")
+		rmwRatio   = flag.Float64("rmw-ratio", 0, "fraction of read-modify-writes (YCSB-F style; read the record, bump its counter via Operate)")
 		theta      = flag.Float64("theta", 0.99, "zipfian skew")
 		backend    = flag.String("backend", "darray", "darray or gam")
 		valueLen   = flag.Int("value-len", 100, "value size in bytes")
@@ -44,6 +45,7 @@ func main() {
 		prefetch   = flag.Int("prefetch", 0, "chunks prefetched on a sequential miss (0 default, -1 disables prefetch and the detector)")
 		noCoalesce = flag.Bool("no-coalesce", false, "disable destination coalescing of coherence commands")
 		noPool     = flag.Bool("no-pool", false, "disable the zero-copy buffer pool (allocate-per-message ablation)")
+		ship       = flag.String("ship", "auto", "function-shipping mode: auto (per-chunk contention estimator), on, off")
 		traceOut   = flag.String("trace-out", "", "record causal spans and write a Perfetto-loadable Chrome trace to this file (enables the virtual-time model)")
 		traceEvery = flag.Int("trace-sample", 1, "with -trace-out, sample every Nth public op as a trace root")
 	)
@@ -58,6 +60,7 @@ func main() {
 		PrefetchAhead:   *prefetch,
 		DisableCoalesce: *noCoalesce,
 		NoPool:          *noPool,
+		Ship:            *ship,
 	}
 	var plan *fault.Plan
 	if *chaosOn {
@@ -84,7 +87,7 @@ func main() {
 	}
 
 	var mu sync.Mutex
-	var gets, puts, notFound int64
+	var gets, puts, rmws, notFound int64
 	var lat stats.Histogram
 	start := time.Now()
 
@@ -98,6 +101,15 @@ func main() {
 		default:
 			fmt.Fprintf(os.Stderr, "unknown backend %q\n", *backend)
 			os.Exit(2)
+		}
+		var counters *core.Array
+		var bump core.OpID
+		if *rmwRatio > 0 {
+			// One update counter per record: an RMW reads the record from
+			// the store and bumps its counter with a commutative Operate
+			// add — the op the function-shipping path accelerates.
+			counters = core.New(n, *records)
+			bump = counters.RegisterOp(core.OpAddU64)
 		}
 		root := n.NewCtx(0)
 		gen := ycsb.NewGenerator(ycsb.Config{Records: *records, ValueLen: *valueLen, Seed: 7})
@@ -116,10 +128,10 @@ func main() {
 
 		n.RunThreads(*threads, func(ctx *cluster.Ctx) {
 			g := ycsb.NewGenerator(ycsb.Config{
-				Records: *records, GetRatio: *getRatio, Theta: *theta,
+				Records: *records, GetRatio: *getRatio, RMWRatio: *rmwRatio, Theta: *theta,
 				ValueLen: *valueLen, Seed: int64(n.ID()*100 + ctx.TID),
 			})
-			var lg, lp, lnf int64
+			var lg, lp, lr, lnf int64
 			for k := 0; k < *ops; k++ {
 				op := g.Next()
 				opStart := time.Now()
@@ -134,6 +146,12 @@ func main() {
 					if err := store.Put(ctx, op.Key, op.Val); err != nil {
 						panic(err)
 					}
+				case ycsb.OpRMW:
+					lr++
+					if _, err := store.Get(ctx, op.Key); err == kvs.ErrNotFound {
+						lnf++
+					}
+					counters.Apply(ctx, bump, op.ID, 1)
 				}
 				if k%64 == 0 {
 					mu.Lock()
@@ -144,6 +162,7 @@ func main() {
 			mu.Lock()
 			gets += lg
 			puts += lp
+			rmws += lr
 			notFound += lnf
 			mu.Unlock()
 		})
@@ -151,9 +170,9 @@ func main() {
 	})
 
 	wall := time.Since(start)
-	total := gets + puts
-	fmt.Printf("backend=%s nodes=%d threads=%d records=%d\n", *backend, *nodes, *threads, *records)
-	fmt.Printf("ops: %d total (%d gets, %d puts, %d not-found)\n", total, gets, puts, notFound)
+	total := gets + puts + rmws
+	fmt.Printf("backend=%s nodes=%d threads=%d records=%d ship=%s\n", *backend, *nodes, *threads, *records, *ship)
+	fmt.Printf("ops: %d total (%d gets, %d puts, %d rmws, %d not-found)\n", total, gets, puts, rmws, notFound)
 	fmt.Printf("wall: %v  (%.0f ops/s host throughput)\n", wall.Round(time.Millisecond),
 		float64(total)/wall.Seconds())
 	fmt.Printf("sampled host latency: p50=%v p99=%v max=%v\n",

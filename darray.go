@@ -72,6 +72,12 @@ var (
 // streaming optimizations.
 var WithPrefetch = core.WithPrefetch
 
+// WithShipping returns Options forcing one array's function-shipping
+// mode: "auto" (per-chunk contention estimator), "on" (every remote
+// Apply ships to the home), or "off" (cached combining only, the
+// pre-shipping protocol). It overrides the cluster-wide Config.Ship.
+var WithShipping = core.WithShipping
+
 // NewCluster builds and starts a simulated cluster.
 func NewCluster(cfg Config) *Cluster { return cluster.New(cfg) }
 

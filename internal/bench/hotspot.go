@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"math/rand"
+	"strconv"
+	"sync"
+
+	"darray/internal/cluster"
+	"darray/internal/core"
+	"darray/internal/stats"
+	"darray/internal/ycsb"
+)
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// Hotspot measures the function-shipping crossover (DESIGN.md "Function
+// shipping"): a read-modify-write-heavy hot-key workload swept over
+// Zipfian skew θ, run under each shipping mode. At θ=0 (uniform) cached
+// combining is optimal and auto must match off; at θ≥0.99 nearly all
+// traffic lands on a handful of chunks whose Operated state collapses
+// on every interleaved read, and the shipped path's header-sized
+// round trips win — the estimator should find that crossover on its
+// own.
+
+// hotThetas is the skew sweep (0 = uniform, 0.99 = YCSB default).
+var hotThetas = []float64{0, 0.9, 0.99, 1.2}
+
+// hotShipModes are the compared execution modes.
+var hotShipModes = []string{"auto", "on", "off"}
+
+const (
+	// hotWords is the hotspot keyspace: deliberately small (32 chunks) so
+	// skewed traffic concentrates — a hotspot benchmark, not a scan.
+	hotWords = 1 << 14
+	// hotRMWFrac makes the mix RMW-heavy (YCSB-F flavoured): 80%
+	// read-modify-writes (read the key, combine into it) with 20% plain
+	// reads. The RMW's read is what makes this the shipping crossover:
+	// under cached combining every hot-key read collapses the Operated
+	// state — op-recall fan-out, chunk-sized combine-buffer flushes,
+	// re-grants — while the shipped path pays one header-sized round
+	// trip for the add.
+	hotRMWFrac = 0.8
+)
+
+// Hotspot reproduces the crossover table: throughput per (θ, ship mode)
+// plus the auto and on speedups over off.
+func Hotspot(p Params) []stats.Table {
+	// The crossover widens with the collapse fan-out, so run at the full
+	// node count: every extra node is another combiner to op-recall and
+	// another chunk-sized flush per cached-mode read.
+	nodes := min(6, p.MaxNodes)
+	tput := stats.Table{
+		Title:  "Hotspot: RMW-heavy zipfian add+read throughput (Mops/s) vs skew θ",
+		XLabel: "theta",
+		YFmt:   "%.3f",
+	}
+	speed := stats.Table{
+		Title:  "Hotspot: shipping speedup over ship=off vs skew θ",
+		XLabel: "theta",
+		YFmt:   "%.2f",
+	}
+	for _, th := range hotThetas {
+		tput.Xs = append(tput.Xs, ftoa(th))
+		speed.Xs = append(speed.Xs, ftoa(th))
+	}
+	res := map[string][]float64{}
+	for _, mode := range hotShipModes {
+		var ys []float64
+		for _, th := range hotThetas {
+			r := runHotspot(p, mode, th, nodes)
+			ys = append(ys, r.tput/1e6)
+		}
+		res[mode] = ys
+		tput.Series = append(tput.Series, stats.Series{Label: "ship=" + mode, Ys: ys})
+	}
+	for _, mode := range []string{"auto", "on"} {
+		var ys []float64
+		for i := range hotThetas {
+			ys = append(ys, res[mode][i]/res["off"][i])
+		}
+		speed.Series = append(speed.Series, stats.Series{Label: mode + "/off", Ys: ys})
+	}
+	return []stats.Table{tput, speed}
+}
+
+type hotspotResult struct {
+	tput float64 // virtual-time ops/s
+	ops  int64
+}
+
+// runHotspot runs the hot-key mix with one thread per node under the
+// given shipping mode and Zipfian skew, and returns the virtual-time
+// throughput.
+func runHotspot(p Params, ship string, theta float64, nodes int) hotspotResult {
+	q := p
+	q.Ship = ship
+	c := q.cluster(nodes)
+	defer c.Close()
+	ops := p.HotOps
+	if ops == 0 {
+		ops = p.ZipfOps
+	}
+	var mu sync.Mutex
+	var totalOps int64
+	var maxEnd, minStart int64
+	minStart = 1 << 62
+
+	c.Run(func(n *cluster.Node) {
+		arr := core.New(n, hotWords)
+		add := arr.RegisterOp(core.OpAddU64)
+		ctx := n.NewCtx(0)
+		z := ycsb.NewZipfian(hotWords, theta, int64(1000+n.ID()))
+		rng := rand.New(rand.NewSource(int64(2000 + n.ID())))
+		c.Barrier(ctx)
+		start := ctx.Clock.Now()
+		for k := 0; k < ops; k++ {
+			i := z.Next()
+			if rng.Float64() < hotRMWFrac {
+				arr.Get(ctx, i)
+				arr.Apply(ctx, add, i, 1)
+			} else {
+				arr.Get(ctx, i)
+			}
+		}
+		end := ctx.Clock.Now()
+		mu.Lock()
+		totalOps += int64(ops)
+		if end > maxEnd {
+			maxEnd = end
+		}
+		if start < minStart {
+			minStart = start
+		}
+		mu.Unlock()
+		c.Barrier(ctx)
+	})
+	return hotspotResult{
+		tput: stats.Throughput(totalOps, maxEnd-minStart),
+		ops:  totalOps,
+	}
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+
+	"darray/internal/vtime"
+)
+
+// hotspotParams skips host calibration (fixed plausible CPU costs) but
+// keeps the full 6-node, 8000-ops-per-node crossover scale — the shape
+// the EXPERIMENTS.md numbers come from.
+func hotspotParams() Params {
+	m := vtime.Default()
+	m.NativeAccess, m.GetHit, m.SetHit, m.ApplyHit = 2, 20, 25, 30
+	m.PinAccess, m.GamAccess, m.BclLocal, m.SlowFixed = 5, 40, 6, 100
+	p := DefaultParams(m)
+	p.HotOps = 8000
+	return p
+}
+
+// TestHotspotCrossover locks the function-shipping acceptance criteria:
+// on the RMW-heavy hot-key mix at θ=0.99 the auto estimator must find
+// the shipped mode and beat cached combining by ≥1.5× in virtual-time
+// throughput, while at θ=0 (uniform) it must leave the cached path
+// alone and stay within 5% of ship=off.
+func TestHotspotCrossover(t *testing.T) {
+	if raceEnabled {
+		t.Skip("virtual-time throughput ratios; -race scheduling skews queueing")
+	}
+	if testing.Short() {
+		t.Skip("multi-second crossover measurement")
+	}
+	p := hotspotParams()
+	const nodes = 6
+
+	off := runHotspot(p, "off", 0, nodes).tput
+	auto := runHotspot(p, "auto", 0, nodes).tput
+	if ratio := auto / off; ratio < 0.95 {
+		t.Errorf("theta=0: ship=auto at %.3fx of ship=off, want >= 0.95x (estimator must not flip uniform traffic)", ratio)
+	}
+
+	off99 := runHotspot(p, "off", 0.99, nodes).tput
+	auto99 := runHotspot(p, "auto", 0.99, nodes).tput
+	if ratio := auto99 / off99; ratio < 1.5 {
+		t.Errorf("theta=0.99: ship=auto at %.3fx of ship=off, want >= 1.5x", ratio)
+	}
+}

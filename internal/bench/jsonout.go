@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"time"
@@ -25,6 +26,40 @@ type MicroResult struct {
 	WallNsPerOp float64 `json:"wall_ns_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	Knobs       *Knobs  `json:"knobs,omitempty"`
+}
+
+// Knobs records the effective knob set behind one measurement (schema
+// v3), so a result line is interpretable without reconstructing the
+// command line that produced it.
+type Knobs struct {
+	TxBurst  int     `json:"tx_burst"`
+	Pipeline int     `json:"pipeline"`
+	Prefetch int     `json:"prefetch"`
+	Coalesce bool    `json:"coalesce"`
+	NoPool   bool    `json:"no_pool"`
+	Ship     string  `json:"ship"`
+	Nodes    int     `json:"nodes"`
+	Threads  int     `json:"threads"`
+	Theta    float64 `json:"theta,omitempty"`
+}
+
+// knobs renders p's effective cluster knob set for one measurement.
+func (p Params) knobs(nodes, threads int) *Knobs {
+	ship := p.Ship
+	if ship == "" {
+		ship = "auto"
+	}
+	return &Knobs{
+		TxBurst:  p.TxBurst,
+		Pipeline: p.PipelineDepth,
+		Prefetch: p.PrefetchAhead,
+		Coalesce: !p.DisableCoalesce,
+		NoPool:   p.NoPool,
+		Ship:     ship,
+		Nodes:    nodes,
+		Threads:  threads,
+	}
 }
 
 // MicroReport is the whole BENCH_micro.json document.
@@ -63,7 +98,7 @@ func measureAllocs(fn func() int64) (allocsPerOp, bytesPerOp float64) {
 func MicroJSON(p Params) MicroReport {
 	nodes := min(3, p.MaxNodes)
 	rep := MicroReport{
-		Schema:       "darray-bench-micro/v2",
+		Schema:       "darray-bench-micro/v3",
 		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:    runtime.Version(),
 		GOOS:         runtime.GOOS,
@@ -82,6 +117,7 @@ func MicroJSON(p Params) MicroReport {
 		rep.Results = append(rep.Results, MicroResult{
 			Name: name, NsPerOp: r.meanNs(), MopsPerSec: r.mops(),
 			AllocsPerOp: allocs, BytesPerOp: bytes,
+			Knobs: p.knobs(n, 1),
 		})
 	}
 	addSeq("seq-read/darray/1node", "darray", "read", 1)
@@ -99,6 +135,7 @@ func MicroJSON(p Params) MicroReport {
 	rep.Results = append(rep.Results, MicroResult{
 		Name:    "random-read/darray",
 		NsPerOp: randNs, AllocsPerOp: randAllocs, BytesPerOp: randBytes,
+		Knobs: p.knobs(nodes, 1),
 	})
 	addStream := func(name string, sc streamConfig) {
 		var r streamResult
@@ -106,16 +143,41 @@ func MicroJSON(p Params) MicroReport {
 			r = runStream(p, nodes, sc)
 			return r.words
 		})
+		k := p.knobs(nodes, 1)
+		k.TxBurst, k.Pipeline, k.Prefetch, k.Coalesce = sc.txBurst, sc.pipeline, sc.prefetch, sc.coalesce
 		rep.Results = append(rep.Results, MicroResult{
 			Name: name, NsPerOp: r.nsPerOp(), MopsPerSec: r.mops(),
 			WallNsPerOp: r.wallNsPerOp(),
 			AllocsPerOp: allocs, BytesPerOp: bytes,
+			Knobs: k,
 		})
 	}
 	addStream("stream-getrange/serial", baselineStream(false))
 	addStream("stream-getrange/pipelined", streamConfig{txBurst: 0, coalesce: true})
 	addStream("stream-setrange/serial", baselineStream(true))
 	addStream("stream-setrange/pipelined", streamConfig{txBurst: 0, coalesce: true, write: true})
+	hotNodes := min(6, p.MaxNodes)
+	for _, th := range hotThetas {
+		for _, mode := range hotShipModes {
+			var r hotspotResult
+			allocs, bytes := measureAllocs(func() int64 {
+				r = runHotspot(p, mode, th, hotNodes)
+				return r.ops
+			})
+			k := p.knobs(hotNodes, 1)
+			k.Ship, k.Theta = mode, th
+			nsPerOp := 0.0
+			if r.tput > 0 {
+				nsPerOp = 1e9 / r.tput
+			}
+			rep.Results = append(rep.Results, MicroResult{
+				Name:    fmt.Sprintf("hotspot/theta=%s/ship=%s", ftoa(th), mode),
+				NsPerOp: nsPerOp, MopsPerSec: r.tput / 1e6,
+				AllocsPerOp: allocs, BytesPerOp: bytes,
+				Knobs: k,
+			})
+		}
+	}
 	return rep
 }
 

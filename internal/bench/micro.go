@@ -28,6 +28,7 @@ type Params struct {
 	KVOps        int // per thread
 	ZipfOps      int // per node, Fig. 14
 	RandomOps    int // per node, Fig. 18
+	HotOps       int // per node, hotspot crossover (0: fall back to ZipfOps)
 
 	// Telemetry, when non-nil, is shared by every cluster the experiments
 	// build; each cluster folds its final counters into it on Close, so
@@ -53,6 +54,10 @@ type Params struct {
 	// ablation behind `make bench-diff`.
 	NoPool bool
 
+	// Ship selects the function-shipping mode for every cluster the
+	// experiments build: "" or "auto" (per-chunk estimator), "on", "off".
+	Ship string
+
 	// Tracer, when non-nil, is attached to every cluster the experiments
 	// build so sampled ops record causal span trees (the -trace-out flag
 	// wires this up). Enable it (trace.Tracer.Enable) before running.
@@ -72,6 +77,7 @@ func DefaultParams(m *vtime.Model) Params {
 		KVOps:        2000,
 		ZipfOps:      20000,
 		RandomOps:    20000,
+		HotOps:       8000,
 	}
 }
 
@@ -98,6 +104,7 @@ func (p Params) cluster(nodes int) *cluster.Cluster {
 		PrefetchAhead:   p.PrefetchAhead,
 		DisableCoalesce: p.DisableCoalesce,
 		NoPool:          p.NoPool,
+		Ship:            p.Ship,
 		Tracer:          p.Tracer,
 	})
 }

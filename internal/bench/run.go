@@ -29,6 +29,7 @@ func Experiments() []Experiment {
 		{"fig18", "Random access latency (poor locality limitation)", Fig18},
 		{"ablation", "Design ablations: prefetch, chunk size, signaling, runtimes", Ablations},
 		{"stream", "Streaming bulk transfers: pipelined ranges, doorbell batching, coalescing", Stream},
+		{"hotspot", "Function-shipping crossover: RMW-heavy hot keys, skew × ship mode", Hotspot},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

@@ -51,6 +51,11 @@ type Config struct {
 	// ablation). Results must be bit-identical either way.
 	NoPool bool
 
+	// Ship selects the function-shipping mode ("" = "auto", "on",
+	// "off"). Shipped ops are commutative, so results must be
+	// bit-identical in every mode.
+	Ship string
+
 	Out io.Writer // optional progress/trace output
 }
 
@@ -200,6 +205,7 @@ func runOnce(w Workload, cfg Config, plan *fault.Plan) (uint64, error) {
 		CacheChunks:    cfg.CacheChunks,
 		RuntimeThreads: 2,
 		NoPool:         cfg.NoPool,
+		Ship:           cfg.Ship,
 	})
 	fp, arrays := w.Run(c, cfg.Threads, cfg.Seed)
 	if err := c.Err(); err != nil {

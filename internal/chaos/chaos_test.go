@@ -93,6 +93,39 @@ func TestChaosNoPoolAblation(t *testing.T) {
 	}
 }
 
+// TestChaosHotKeyShipModes proves function shipping is purely an
+// execution-mode choice: the hot-key Operate/Apply workload — the
+// traffic the adaptive estimator flips — must fingerprint
+// bit-identically under ship off, on, and auto, each run over the
+// default fault schedule (>=1% loss plus the partition window), with
+// invariants clean and no leaks.
+func TestChaosHotKeyShipModes(t *testing.T) {
+	w := chaos.HotKey(2048, 300)
+	var fps []uint64
+	var blocks int64
+	modes := []string{"off", "on", "auto"}
+	// Shipping reshapes message timing and the race detector skews host
+	// scheduling, so the default 100-600 µs partition window can miss
+	// the 1<->2 traffic entirely; pin a window wide enough to catch it
+	// in every mode while staying inside the retransmission budget
+	// (~2.8 ms), so it heals transparently.
+	parts := []fault.Partition{{A: 1, B: 2, Start: 50_000, End: 1_500_000}}
+	for _, mode := range modes {
+		out := runChaos(t, w, chaos.Config{Seed: 42, Threads: 2, Ship: mode, Partitions: parts})
+		blocks += out.FaultStats.PartitionBlocks
+		fps = append(fps, out.Fingerprint)
+	}
+	if blocks == 0 {
+		t.Error("the partition window never fired in any shipping mode")
+	}
+	for i, fp := range fps {
+		if fp != fps[0] {
+			t.Errorf("shipping changed the result: ship=%s %016x, ship=%s %016x",
+				modes[0], fps[0], modes[i], fp)
+		}
+	}
+}
+
 // DefaultFaults must satisfy the acceptance bar by construction.
 func TestChaosDefaultFaultsMeetBar(t *testing.T) {
 	cfg := chaos.DefaultFaults(7, 4)

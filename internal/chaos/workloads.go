@@ -108,6 +108,85 @@ func Microbench(words int64, opsPerThread int) Workload {
 	}
 }
 
+// HotKey hammers a few hot chunks with interleaved reads and
+// commutative adds from every thread of every node — the traffic
+// pattern the function-shipping path targets. Reads during the
+// contention phase force Operated collapses on the cached path (and
+// sharer invalidations on the shipped path) but their values are
+// discarded; only post-barrier state enters the fingerprint. Under
+// commutative adds that state is exact, so the full-scan fingerprint
+// from node 0 must be bit-identical in every shipping mode, faulted or
+// not. A final ApplyRange over the hot region drives the batched
+// ship-op variant through the same faulty fabric.
+func HotKey(words int64, opsPerThread int) Workload {
+	return Workload{
+		Name: "hot-key",
+		Run: func(c *cluster.Cluster, threads int, seed int64) (uint64, []*core.Array) {
+			var fp uint64
+			var arrays []*core.Array
+			c.Run(func(n *cluster.Node) {
+				ctx0 := n.NewCtx(0)
+				a := core.New(n, words)
+				add := a.RegisterOp(core.OpAddU64)
+				if n.ID() == 0 {
+					arrays = []*core.Array{a}
+				}
+				c.Barrier(ctx0)
+
+				// Owners seed their partitions with derived values.
+				lo, hi := a.LocalRange()
+				for i := lo; i < hi; i++ {
+					a.Set(ctx0, i, mix64(uint64(i)^uint64(seed)))
+				}
+				c.Barrier(ctx0)
+
+				// Hot mix: 7/8 of the traffic lands on the first sixteenth
+				// of the array, every fourth op re-reads the element it is
+				// about to bump (a read-modify-write), operands derive only
+				// from (seed, worker, k).
+				hot := words / 16
+				if hot < 1 {
+					hot = 1
+				}
+				n.RunThreads(threads, func(ctx *cluster.Ctx) {
+					w := int64(n.ID()*threads + ctx.TID)
+					rng := rand.New(rand.NewSource(seed ^ (w+1)*0x9e3779b9))
+					for k := 0; k < opsPerThread; k++ {
+						i := rng.Int63n(hot)
+						if rng.Intn(8) == 0 {
+							i = rng.Int63n(words)
+						}
+						if rng.Intn(4) == 0 {
+							_ = a.Get(ctx, i) // discarded: state churn only
+						}
+						a.Apply(ctx, add, i, mix64(uint64(k)+uint64(w)*1315423911+uint64(seed)))
+					}
+				})
+				c.Barrier(ctx0)
+
+				// Batched variant: every node ApplyRanges the hot region
+				// (commutative, so concurrent ranges still commute).
+				vals := make([]uint64, hot)
+				for i := range vals {
+					vals[i] = mix64(uint64(i) + uint64(n.ID())*2654435761 + uint64(seed)*13)
+				}
+				a.ApplyRange(ctx0, add, 0, vals)
+				c.Barrier(ctx0)
+
+				if n.ID() == 0 {
+					h := fnvOffset
+					for i := int64(0); i < words; i++ {
+						h = fnvMix(h, a.Get(ctx0, i))
+					}
+					fp = h
+				}
+				c.Barrier(ctx0)
+			})
+			return fp, arrays
+		},
+	}
+}
+
 // BulkRange streams multi-chunk GetRange/SetRange/ApplyRange transfers
 // across node boundaries, so the pipelined bulk path, doorbell
 // batching, and command coalescing all run over the faulty fabric.

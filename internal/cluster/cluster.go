@@ -56,6 +56,13 @@ type Config struct {
 	// 1 or -1 restores the serial chunk-at-a-time slow path; default 8.
 	PipelineDepth int
 
+	// Ship selects the default function-shipping mode for arrays built on
+	// this cluster: "auto" (per-chunk contention estimator; the default),
+	// "on" (every remote Apply ships to the chunk's home), or "off"
+	// (cached combining only, reproducing the pre-shipping protocol
+	// bit-for-bit).
+	Ship string
+
 	// NoPool disables the zero-copy buffer pool (internal/buf) and every
 	// recycling discipline built on it — payloads, protocol messages,
 	// queue link nodes, waiters, completion tokens — reproducing the
@@ -118,6 +125,13 @@ func (c *Config) fill() {
 		} else {
 			c.PipelineDepth = 8
 		}
+	}
+	switch c.Ship {
+	case "":
+		c.Ship = "auto"
+	case "auto", "on", "off":
+	default:
+		panic("cluster: Ship must be auto, on, or off: " + c.Ship)
 	}
 }
 

@@ -52,6 +52,9 @@ type Array struct {
 	// pipeline is the effective bulk-transfer pipeline depth for this
 	// array (>= 1; 1 means serial chunk-at-a-time ranges).
 	pipeline int
+	// shipMode is the resolved function-shipping mode for this array
+	// (shipOff/shipAuto/shipOn; see ship.go).
+	shipMode uint8
 	// seqTrig is the mid-chunk offset at which Get feeds the sequential
 	// detector; -1 disables the detector entirely.
 	seqTrig int64
@@ -108,6 +111,14 @@ type Metrics struct {
 	PinSlow     atomic.Int64 // pins that needed the runtime
 	Combines    atomic.Int64 // Operate combines into a local buffer
 
+	// Function-shipping accounting (see ship.go). ShipOps counts shipped
+	// ops applied at this home; ShipFlips counts estimator mode flips;
+	// ShipBytesSaved estimates flush traffic avoided (chunk bytes minus
+	// shipped operand bytes per op, floored at zero).
+	ShipOps        atomic.Int64
+	ShipFlips      atomic.Int64
+	ShipBytesSaved atomic.Int64
+
 	// Zero-copy data-path accounting (all zero under NoPool; see
 	// zerocopy.go for the lease/adopt/donate vocabulary).
 	Leases        atomic.Int64 // payload buffers leased from the pool
@@ -134,6 +145,12 @@ type Options struct {
 	// array. The detector is also off cluster-wide when PrefetchAhead
 	// is -1 (the prefetch-free ablation configuration).
 	NoSeqDetect bool
+
+	// Ship overrides the cluster's Config.Ship for this array: "auto",
+	// "on", or "off" ("" keeps the cluster default). NoShip forces
+	// cached-only Operate ("off") regardless of either setting.
+	Ship   string
+	NoShip bool
 }
 
 // WithPrefetch returns Options pinning the bulk-transfer pipeline depth
@@ -143,6 +160,17 @@ func WithPrefetch(k int) Options {
 		k = -1
 	}
 	return Options{Pipeline: k}
+}
+
+// WithShipping returns Options pinning this array's function-shipping
+// mode: "auto" (the per-chunk contention estimator decides), "on"
+// (every remote Apply ships), or "off" (cached combining only).
+func WithShipping(mode string) Options {
+	shipModeOf(mode) // validate eagerly
+	if mode == "" {
+		mode = "auto"
+	}
+	return Options{Ship: mode}
 }
 
 // New collectively creates a distributed array of n 8-byte elements,
@@ -163,6 +191,12 @@ func New(node *cluster.Node, n int64, opts ...Options) *Array {
 		}
 		if o.NoSeqDetect {
 			opt.NoSeqDetect = true
+		}
+		if o.Ship != "" {
+			opt.Ship = o.Ship
+		}
+		if o.NoShip {
+			opt.NoShip = true
 		}
 	}
 	c := node.Cluster()
@@ -234,11 +268,20 @@ func buildShared(c *cluster.Cluster, n int64, opt Options) *shared {
 		seqTrig = -1
 	}
 
+	shipCfg := opt.Ship
+	if shipCfg == "" {
+		shipCfg = c.Config().Ship
+	}
+	ship := shipModeOf(shipCfg)
+	if opt.NoShip {
+		ship = shipOff
+	}
+
 	sh.insts = make([]*Array, nodes)
 	for v := int64(0); v < nodes; v++ {
 		node := c.Node(int(v))
 		a := &Array{sh: sh, node: node, model: c.Model(), reg: c.Telemetry(),
-			pipeline: depth, seqTrig: seqTrig,
+			pipeline: depth, seqTrig: seqTrig, shipMode: ship,
 			pool: c.BufPool(), pooled: c.BufPool() != nil,
 			trc: c.Tracer()}
 		lo, hi := sh.starts[v]*cw, sh.starts[v+1]*cw

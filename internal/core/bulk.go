@@ -138,6 +138,14 @@ func (a *Array) ApplyRange(ctx *cluster.Ctx, op OpID, i int64, src []uint64) {
 			defer a.endRoot(ctx, tc, "ApplyRange", i/a.sh.chunkWords, t0)
 		}
 	}
+	if a.shipMode != shipOff {
+		ciLo := i / a.sh.chunkWords
+		ciHi := (i + int64(len(src)) - 1) / a.sh.chunkWords
+		if a.shipActiveRange(ciLo, ciHi, op) {
+			a.applyRangeShipped(ctx, op, i, src, tc)
+			return
+		}
+	}
 	if ciLo, ciHi, ok := a.usePipeline(i, int64(len(src))); ok {
 		end := i + int64(len(src))
 		a.rangePipeline(ctx, ciLo, ciHi, wantPinOperate, op, func(p *Pin) {

@@ -148,6 +148,11 @@ func (a *Array) handleDataResp(rt *cluster.Runtime, d *dentry, m *fabric.Message
 func (a *Array) handleOpGrant(rt *cluster.Runtime, d *dentry, m *fabric.Message, svt int64) {
 	opid := OpID(m.OpID)
 	op := a.op(opid)
+	if a.shipMode == shipAuto {
+		// The grant piggybacks the home's shipping hint in Val (0 in off
+		// mode, keeping the wire identical to the pre-shipping protocol).
+		d.ship.Store(m.Val != 0)
+	}
 	a.recycleMsg(m) // this handler owns m; all fields are consumed above
 	a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
 		a.withLine(rt, d, func(rt *cluster.Runtime) {

@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"darray/internal/buf"
 	"darray/internal/cluster"
 	"darray/internal/trace"
 )
@@ -33,7 +34,10 @@ const (
 	dirOperated
 )
 
-// What a slow-path request needs.
+// What a slow-path request needs. wantShip is a shipped Operate: the
+// home applies the operand(s) against the authoritative backing instead
+// of granting the requester any permission, so it never appears in a
+// cache-side issueRequest and never pins.
 const (
 	wantRead uint8 = iota
 	wantWrite
@@ -41,6 +45,7 @@ const (
 	wantPinRead
 	wantPinWrite
 	wantPinOperate
+	wantShip
 )
 
 func wantPerm(w uint8) uint32 {
@@ -54,7 +59,7 @@ func wantPerm(w uint8) uint32 {
 	}
 }
 
-func isPin(w uint8) bool { return w >= wantPinRead }
+func isPin(w uint8) bool { return w >= wantPinRead && w <= wantPinOperate }
 
 // baseWant maps pin variants to their underlying need; the directory
 // state machine only distinguishes read/write/operate, pin-ness matters
@@ -150,13 +155,31 @@ type dentry struct {
 	owner   int32  // node holding the chunk Dirty (when dstate==dirDirty)
 	opID    OpID   // active operator (when dstate==dirOperated)
 	opNodes uint64 // bitmask of non-home nodes combining operands
+
+	// Function-shipping state. est is the home-side contention estimator
+	// (runtime-owned, like the directory fields above); shipQ is the
+	// cache side's FIFO of in-flight shipped ops — per-(pair,chunk)
+	// ordering matches each msgShipReply to the head waiter. ship is the
+	// cache side's last mode hint from home (auto mode only), read on the
+	// Apply miss path.
+	est   shipEstimator
+	shipQ []*waiter
+	ship  atomic.Bool
 }
 
 type deferredReq struct {
 	from int   // requesting node (== home id for local requests)
-	want uint8 // wantRead/wantWrite/wantOperate (pin variants local only)
+	want uint8 // wantRead/wantWrite/wantOperate/wantShip (pin variants local only)
 	op   OpID
 	vt   int64
 	w    *waiter   // non-nil for local requests
 	tc   trace.Ctx // causal-trace chain carried across the deferral
+
+	// Shipped-Operate operands carried across the deferral: the element
+	// offset within the chunk, a single operand (val) or a batch (data,
+	// with pay owning its pooled backing).
+	idx  int64
+	val  uint64
+	data []uint64
+	pay  *buf.Ref
 }

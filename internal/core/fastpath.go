@@ -41,7 +41,10 @@ func (a *Array) Get(ctx *cluster.Ctx, i int64) uint64 {
 		d.refcnt.Add(1) // hold a reference
 		st := d.state.Load()
 		if p := statePerm(st); p == permRead || p == permRW {
-			v := d.data[off]
+			// Atomic load (a plain MOV on amd64): combining — a local
+			// Apply hit or a shipped op at the home — CASes this word
+			// concurrently with readers.
+			v := atomic.LoadUint64(&d.data[off])
 			d.refcnt.Add(-1) // release the reference
 			ctx.Stats.Hits++
 			if a.telOn() {
@@ -162,6 +165,15 @@ func (a *Array) Apply(ctx *cluster.Ctx, op OpID, i int64, operand uint64) {
 			return
 		}
 		d.refcnt.Add(-1)
+		if a.shipWanted(d, ci, op) {
+			// Active path: ship the op to the home instead of acquiring
+			// Operated permission. The op is complete when the reply lands.
+			a.shipOne(ctx, d, ci, off, op, operand, tc)
+			if tc.Trace != 0 {
+				a.endRoot(ctx, tc, "Apply", ci, t0)
+			}
+			return
+		}
 		if !a.slowPath(ctx, d, ci, wantOperate, op, tc) {
 			if tc.Trace != 0 {
 				a.endRoot(ctx, tc, "Apply", ci, t0)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"darray/internal/cluster"
+	"darray/internal/vtime"
 )
 
 // TestProtocolFuzzSeeds drives randomized mixed workloads across many
@@ -31,17 +32,56 @@ func TestProtocolFuzzSeeds(t *testing.T) {
 			sh, seed := sh, seed
 			t.Run(fmt.Sprintf("n%d_r%d_c%d_s%d", sh.nodes, sh.runtimes, sh.cache, seed),
 				func(t *testing.T) {
-					fuzzOnce(t, sh.nodes, sh.runtimes, sh.cache, seed)
+					fuzzOnce(t, sh.nodes, sh.runtimes, sh.cache, seed, "")
 				})
 		}
 	}
 }
 
-func fuzzOnce(t *testing.T, nodes, runtimes, cache int, seed int64) {
-	c := cluster.New(cluster.Config{
+// TestProtocolFuzzShipModes reruns the mixed-workload fuzz with function
+// shipping forced on and in adaptive mode (with a cost model attached so
+// the estimator is live and mode flips interleave with in-flight locks,
+// pins, and ApplyRange batches). The oracle and invariant checks are
+// identical to the baseline matrix — shipping must be invisible.
+func TestProtocolFuzzShipModes(t *testing.T) {
+	type shape struct {
+		nodes, runtimes, cache int
+	}
+	shapes := []shape{
+		{3, 2, 6},
+		{4, 2, 5},
+	}
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		shapes = shapes[:1]
+		seeds = seeds[:1]
+	}
+	for _, ship := range []string{"on", "auto"} {
+		for _, sh := range shapes {
+			for _, seed := range seeds {
+				ship, sh, seed := ship, sh, seed
+				t.Run(fmt.Sprintf("%s_n%d_r%d_c%d_s%d", ship, sh.nodes, sh.runtimes, sh.cache, seed),
+					func(t *testing.T) {
+						fuzzOnce(t, sh.nodes, sh.runtimes, sh.cache, seed, ship)
+					})
+			}
+		}
+	}
+}
+
+// fuzzOnce runs one randomized workload. ship selects the
+// function-shipping mode; non-empty values also attach the cost model so
+// the adaptive estimator runs ("" keeps the modelless baseline cluster).
+func fuzzOnce(t *testing.T, nodes, runtimes, cache int, seed int64, ship string) {
+	cfg := cluster.Config{
 		Nodes: nodes, RuntimeThreads: runtimes,
 		ChunkWords: 32, CacheChunks: cache,
-	})
+	}
+	if ship != "" {
+		cfg.Ship = ship
+		cfg.Model = vtime.Default()
+	}
+	c := cluster.New(cfg)
 	defer c.Close()
 	const elems = 32 * 6
 	oracle := make([]uint64, elems)
@@ -66,7 +106,7 @@ func fuzzOnce(t *testing.T, nodes, runtimes, cache int, seed int64) {
 				// updates, odd elements take locked updates.
 				iApply := i &^ 1
 				iLock := i | 1
-				switch rng.Intn(6) {
+				switch rng.Intn(7) {
 				case 0:
 					_ = a.Get(root, i)
 				case 1:
@@ -93,6 +133,22 @@ func fuzzOnce(t *testing.T, nodes, runtimes, cache int, seed int64) {
 					a.RLock(root, i)
 					_ = a.Get(root, i)
 					a.Unlock(root, i)
+				case 6:
+					// Bulk combining across a chunk boundary. Odd elements
+					// are the locked partition, so they get the additive
+					// identity — ApplyRange must treat 0 as a no-op there.
+					const span = 48
+					lo := i % (elems - span)
+					vals := make([]uint64, span)
+					mu.Lock()
+					for j := range vals {
+						if (lo+int64(j))&1 == 0 {
+							vals[j] = 1
+							oracle[lo+int64(j)]++
+						}
+					}
+					mu.Unlock()
+					a.ApplyRange(root, add, lo, vals)
 				}
 			}
 			c.Barrier(root)

@@ -140,14 +140,17 @@ func (p *Pin) First() int64 { return p.base }
 // Limit returns one past the last global index covered by the pin.
 func (p *Pin) Limit() int64 { return p.limit }
 
-// Get reads global element i from the pinned chunk without atomics.
+// Get reads global element i from the pinned chunk. The load is atomic
+// (a plain MOV on amd64) because combiners — pin.Apply on this node or
+// a shipped op at the home — CAS words concurrently with pinned reads;
+// the pin removes the delay-flag/refcnt traffic, not the word access.
 func (p *Pin) Get(ctx *cluster.Ctx, i int64) uint64 {
 	p.check(i)
 	if m := p.a.model; m != nil {
 		ctx.Clock.Advance(m.PinAccess)
 	}
 	ctx.Stats.Hits++
-	return p.d.data[i-p.base]
+	return atomic.LoadUint64(&p.d.data[i-p.base])
 }
 
 // Set writes global element i. The pin must hold RW permission.

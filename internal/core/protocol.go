@@ -30,6 +30,8 @@ const (
 	msgLockReq   // Idx = element, Flag = writer
 	msgLockGrant
 	msgUnlock
+	msgShipOp    // shipped Operate: Idx = offset, Val = operand (Flag: Data = batch)
+	msgShipReply // shipped Operate done; Val carries the home's mode hint
 )
 
 type fMsg struct {
@@ -139,6 +141,19 @@ func (a *Array) handleMsg(rt *cluster.Runtime, m *fabric.Message) {
 		a.handleWBData(rt, d, m, svt, tc)
 	case msgOpFlush:
 		a.handleOpFlush(rt, d, m, svt)
+	case msgShipOp:
+		r := homeReq{from: m.From, want: wantShip, op: OpID(m.OpID), vt: svt, tc: tc,
+			idx: m.Idx, val: m.Val}
+		if m.Flag {
+			// Batched variant: the operand buffer (and its pooled backing)
+			// moves to the request so it survives deferrals and
+			// continuations; shipApply releases it after the merge.
+			r.data, r.pay = m.Data, m.Payload
+			m.Payload = nil
+		}
+		a.serveHome(rt, d, r)
+	case msgShipReply:
+		a.handleShipReply(rt, d, m, svt, tc)
 	default:
 		panic(fmt.Sprintf("core: unknown message kind %d", m.Kind))
 	}
@@ -220,12 +235,20 @@ type homeReq struct {
 	vt   int64
 	w    *waiter   // non-nil for local requests
 	tc   trace.Ctx // requester's causal-trace chain (zero when untraced)
+
+	// Shipped-Operate operands (want == wantShip): chunk-relative offset,
+	// one operand or a batch with its pooled backing (see deferredReq).
+	idx  int64
+	val  uint64
+	data []uint64
+	pay  *buf.Ref
 }
 
 // serveHome starts (or defers) a directory transaction for chunk d.
 func (a *Array) serveHome(rt *cluster.Runtime, d *dentry, r homeReq) {
 	if d.busy {
-		d.defrd = append(d.defrd, deferredReq{from: r.from, want: r.want, op: r.op, vt: r.vt, w: r.w, tc: r.tc})
+		d.defrd = append(d.defrd, deferredReq{from: r.from, want: r.want, op: r.op, vt: r.vt, w: r.w, tc: r.tc,
+			idx: r.idx, val: r.val, data: r.data, pay: r.pay})
 		return
 	}
 	d.busy = true
@@ -244,6 +267,10 @@ func (a *Array) serveHome(rt *cluster.Runtime, d *dentry, r homeReq) {
 // wait (reference drains, invalidation acks, recalls) continue through
 // callbacks and re-enter homeStep or finish via homeDone.
 func (a *Array) homeStep(rt *cluster.Runtime, d *dentry, r homeReq) {
+	if r.want == wantShip {
+		a.homeShip(rt, d, r)
+		return
+	}
 	local := r.from == a.self()
 	switch d.dstate {
 	case dirUnshared:
@@ -256,6 +283,9 @@ func (a *Array) homeStep(rt *cluster.Runtime, d *dentry, r homeReq) {
 		if !local && r.want == wantOperate && r.op == d.opID {
 			if d.opNodes&(1<<uint(r.from)) == 0 {
 				a.transition(TransOperatedAddNode)
+				a.noteShip(d, r.from, 1)
+			} else {
+				a.noteShip(d, r.from, 0)
 			}
 			d.opNodes |= 1 << uint(r.from)
 			a.grantOperate(rt, d, r)
@@ -296,6 +326,7 @@ func (a *Array) homeFromUnshared(rt *cluster.Runtime, d *dentry, r homeReq, loca
 			a.grantData(rt, d, r, permRW)
 		})
 	case wantOperate:
+		a.noteShip(d, r.from, 1)
 		a.demoteLocal(rt, d, packState(permOperated, r.op), func(rt *cluster.Runtime) {
 			a.transition(TransUnsharedToOperated)
 			d.dstate = dirOperated
@@ -352,6 +383,7 @@ func (a *Array) homeFromShared(rt *cluster.Runtime, d *dentry, r homeReq, local 
 				a.homeFinish(rt, d, r)
 				return
 			}
+			a.noteShip(d, r.from, 1)
 			a.demoteLocal(rt, d, packState(permOperated, r.op), func(rt *cluster.Runtime) {
 				a.transition(TransSharedToOperated)
 				d.dstate = dirOperated
@@ -412,8 +444,12 @@ func (a *Array) grantData(rt *cluster.Runtime, d *dentry, r homeReq, perm uint32
 
 // grantOperate replies to a remote Operate request; no data moves (the
 // requester initializes a combine buffer with the operator identity).
+// Val piggybacks the home's current shipping hint so a cache that keeps
+// combining under a stale grant steers to the active path after its
+// next collapse.
 func (a *Array) grantOperate(rt *cluster.Runtime, d *dentry, r homeReq) {
-	a.send(&fMsg{to: r.from, kind: msgOpGrant, chunk: d.ci, op: d.opID, vt: d.tvt, tc: d.tctx})
+	a.send(&fMsg{to: r.from, kind: msgOpGrant, chunk: d.ci, op: d.opID,
+		val: a.shipHint(d), vt: d.tvt, tc: d.tctx})
 	a.homeDone(rt, d)
 }
 
@@ -437,7 +473,8 @@ func (a *Array) drainDeferred(rt *cluster.Runtime, d *dentry, ci int64) {
 				a.respond(rt, d, r.w, maxi64(r.vt, d.tvt))
 				continue
 			}
-			a.serveHome(rt, d, homeReq{from: r.from, want: r.want, op: r.op, vt: r.vt, w: r.w, tc: r.tc})
+			a.serveHome(rt, d, homeReq{from: r.from, want: r.want, op: r.op, vt: r.vt, w: r.w, tc: r.tc,
+				idx: r.idx, val: r.val, data: r.data, pay: r.pay})
 			continue
 		}
 		// Cache side: deferred coherence commands.
@@ -602,6 +639,7 @@ func (a *Array) handleWBData(rt *cluster.Runtime, d *dentry, m *fabric.Message, 
 // to flush its combined operands, which the home merges; the chunk lands
 // in Unshared with home RW permission.
 func (a *Array) collapseOperated(rt *cluster.Runtime, d *dentry, cont func(rt *cluster.Runtime)) {
+	a.bumpShip(d) // collapse churn feeds the contention estimator
 	a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
 		mask := d.opNodes
 		n := bits.OnesCount64(mask)

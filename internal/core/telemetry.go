@@ -67,7 +67,7 @@ func (a *Array) telOn() bool {
 // KindName maps protocol message kinds to stable names (exported for
 // fabric per-kind reports, which treat kinds as opaque numbers).
 func KindName(k uint8) string {
-	if k > msgUnlock {
+	if k > msgShipReply {
 		return ""
 	}
 	return kindName(k)
@@ -110,6 +110,9 @@ func (a *Array) collectMetrics(emit telemetry.Emit) {
 		{"core/operate/merges", &m.OpMerges},
 		{"core/operate/merges_voluntary", &m.OpMergesVoluntary},
 		{"core/operate/merges_recalled", &m.OpMergesRecalled},
+		{"core/ship/ops", &m.ShipOps},
+		{"core/ship/flips", &m.ShipFlips},
+		{"core/ship/bytes_saved", &m.ShipBytesSaved},
 		{"core/coherence/invalidations", &m.Invals},
 		{"core/coherence/recalls", &m.Recalls},
 		{"core/coherence/downgrades", &m.Downgrades},

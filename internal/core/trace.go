@@ -160,6 +160,10 @@ func kindName(k uint8) string {
 		return "lock-grant"
 	case msgUnlock:
 		return "unlock"
+	case msgShipOp:
+		return "ship-op"
+	case msgShipReply:
+		return "ship-reply"
 	}
 	return fmt.Sprintf("kind-%d", k)
 }

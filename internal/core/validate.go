@@ -42,7 +42,7 @@ func (a *Array) snapshotViews() []chunkView {
 					op:      stateOp(st),
 					busy:    d.busy,
 					pending: d.pending,
-					queued:  len(d.waiters) + len(d.defrd),
+					queued:  len(d.waiters) + len(d.defrd) + len(d.shipQ),
 					dstate:  d.dstate,
 					sharers: d.sharers,
 					opNodes: d.opNodes,

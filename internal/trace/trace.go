@@ -54,11 +54,15 @@ const (
 	// StageFanout is a directory transaction waiting on a multicast:
 	// invalidation acks or Operated-collapse flushes from several nodes.
 	StageFanout
+	// StageShip is function-shipping work: a shipped Operate applied
+	// against the authoritative backing at the chunk's home, and the
+	// requester-side submission that routed it there.
+	StageShip
 
 	numStages
 )
 
-var stageNames = [numStages]string{"op", "queue", "wire", "retransmit", "service", "fanout"}
+var stageNames = [numStages]string{"op", "queue", "wire", "retransmit", "service", "fanout", "ship"}
 
 // String returns the stage's stable name.
 func (s Stage) String() string {

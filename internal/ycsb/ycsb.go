@@ -62,6 +62,9 @@ type OpKind uint8
 const (
 	OpGet OpKind = iota
 	OpPut
+	// OpRMW is a YCSB-F style read-modify-write: read the record, apply a
+	// commutative update (the store maps it onto an Operate add).
+	OpRMW
 )
 
 // Op is one generated operation.
@@ -69,12 +72,14 @@ type Op struct {
 	Kind OpKind
 	Key  []byte
 	Val  []byte
+	ID   int64 // record id behind Key
 }
 
 // Config describes a YCSB workload.
 type Config struct {
 	Records  int64   // distinct keys
 	GetRatio float64 // fraction of gets (paper sweeps 0.5, 0.95, 1.0)
+	RMWRatio float64 // fraction of read-modify-writes (YCSB-F; rest are puts)
 	Theta    float64 // Zipfian skew (default 0.99)
 	ValueLen int     // value size in bytes (YCSB default-ish 100)
 	Seed     int64
@@ -121,16 +126,22 @@ func KeyID(k []byte) int64 {
 }
 
 // Next produces the next operation. Values embed the record id so reads
-// can be validated.
+// can be validated. One uniform draw partitions [0,1) into get / rmw /
+// put bands, so a workload with RMWRatio zero generates a stream
+// byte-identical to one configured before the RMW band existed.
 func (g *Generator) Next() Op {
 	r := g.zip.Next()
-	if g.rng.Float64() < g.cfg.GetRatio {
-		return Op{Kind: OpGet, Key: Key(r)}
+	u := g.rng.Float64()
+	if u < g.cfg.GetRatio {
+		return Op{Kind: OpGet, Key: Key(r), ID: r}
+	}
+	if u < g.cfg.GetRatio+g.cfg.RMWRatio {
+		return Op{Kind: OpRMW, Key: Key(r), ID: r}
 	}
 	v := make([]byte, len(g.val))
 	copy(v, g.val)
 	binary.LittleEndian.PutUint64(v, uint64(r))
-	return Op{Kind: OpPut, Key: Key(r), Val: v}
+	return Op{Kind: OpPut, Key: Key(r), Val: v, ID: r}
 }
 
 // ValidValue reports whether v is a value Next could have written for
