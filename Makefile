@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-diff bufdebug stream chaos trace hotspot check
+.PHONY: build test race vet bench bench-json bench-diff bufdebug stream chaos trace hotspot contention check
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 # protocol, the telemetry registry, the fault-injected fabric, the
 # lock-free queues, the streaming bench, and the layers between them.
 race:
-	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/cluster/... ./internal/fabric/... ./internal/fault/... ./internal/chaos/... ./internal/queue/... ./internal/bench/...
+	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/cluster/... ./internal/fabric/... ./internal/fault/... ./internal/chaos/... ./internal/queue/... ./internal/bench/... ./internal/cc/...
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +55,14 @@ hotspot:
 	$(GO) run ./cmd/darray-bench -fig hotspot -max-nodes 6
 	$(GO) test -run 'TestHotspot|TestShip' -count=1 ./internal/bench/ ./internal/core/
 
+# Congestion-control smoke: the multi-stream contention tables (adaptive
+# windows vs the fixed knobs) at CI scale, plus the crossover gate
+# (>=1.3x better p99 and higher Jain fairness at 8 streams, lone-stream
+# throughput within 5%) and the fixed-window chaos ablation.
+contention:
+	$(GO) run ./cmd/darray-bench -fig contention -words-per-node 65536 -max-nodes 2
+	$(GO) test -run 'TestContention|TestChaosStreamContention' -count=1 ./internal/bench/ ./internal/chaos/
+
 # Tracing smoke: a small traced KVS workload exports a Perfetto-loadable
 # trace, the analyzer reloads it, and the acceptance tests verify that
 # the exported JSON parses, every non-root span links to a live parent,
@@ -64,4 +72,4 @@ trace:
 	$(GO) run ./cmd/darray-trace $(or $(TMPDIR),/tmp)/darray-trace-smoke.json
 	$(GO) test -run 'TestAcceptance' -count=1 ./internal/trace/
 
-check: build vet test race stream chaos bufdebug trace hotspot
+check: build vet test race stream chaos bufdebug trace hotspot contention

@@ -40,11 +40,12 @@ func main() {
 		metrics    = flag.Bool("metrics", false, "print the cluster telemetry report after the run")
 		chaosOn    = flag.Bool("chaos", false, "inject seeded fabric faults (enables the virtual-time model: fault windows are vtime-keyed)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "fault plan seed for -chaos")
-		txBurst    = flag.Int("tx-burst", 0, "work requests per doorbell in the Tx thread (0 default, 1 or -1 disables batching)")
-		pipeDepth  = flag.Int("pipeline", 0, "outstanding chunk fetches per bulk range (0 default, 1 or -1 serial)")
+		txBurst    = flag.Int("tx-burst", 0, "work requests per doorbell in the Tx thread (0 default, 1 or -1 disables batching); a ceiling when congestion control is on")
+		pipeDepth  = flag.Int("pipeline", 0, "outstanding chunk fetches per bulk range (0 default, 1 or -1 serial); a ceiling when congestion control is on")
 		prefetch   = flag.Int("prefetch", 0, "chunks prefetched on a sequential miss (0 default, -1 disables prefetch and the detector)")
 		noCoalesce = flag.Bool("no-coalesce", false, "disable destination coalescing of coherence commands")
 		noPool     = flag.Bool("no-pool", false, "disable the zero-copy buffer pool (allocate-per-message ablation)")
+		noCC       = flag.Bool("no-cc", false, "disable congestion control: -pipeline and -tx-burst become fixed settings instead of ceilings")
 		ship       = flag.String("ship", "auto", "function-shipping mode: auto (per-chunk contention estimator), on, off")
 		traceOut   = flag.String("trace-out", "", "record causal spans and write a Perfetto-loadable Chrome trace to this file (enables the virtual-time model)")
 		traceEvery = flag.Int("trace-sample", 1, "with -trace-out, sample every Nth public op as a trace root")
@@ -60,6 +61,7 @@ func main() {
 		PrefetchAhead:   *prefetch,
 		DisableCoalesce: *noCoalesce,
 		NoPool:          *noPool,
+		NoCC:            *noCC,
 		Ship:            *ship,
 	}
 	var plan *fault.Plan

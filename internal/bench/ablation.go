@@ -61,7 +61,8 @@ func seqReadWith(p Params, mutate func(*cluster.Config)) float64 {
 	cfg := cluster.Config{Nodes: nodes, Model: p.Model, CacheChunks: int(chunksPerRT),
 		Telemetry: p.Telemetry, MsgKindName: core.KindName,
 		TxBurst: p.TxBurst, PipelineDepth: p.PipelineDepth,
-		PrefetchAhead: p.PrefetchAhead, DisableCoalesce: p.DisableCoalesce}
+		PrefetchAhead: p.PrefetchAhead, DisableCoalesce: p.DisableCoalesce,
+		NoCC: p.NoCC}
 	if p.Faults != nil {
 		cfg.Faults = p.Faults(nodes)
 	}

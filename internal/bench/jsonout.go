@@ -19,6 +19,10 @@ import (
 // (runtime.MemStats Mallocs/TotalAlloc) over the whole measurement —
 // including cluster setup, amortised over every operation — so they
 // track the real GC pressure a benchmark run produces.
+// P99NsPerOp, Fairness, and Retransmits (schema v4) carry the
+// multi-stream contention experiment: tail per-slab latency, Jain's
+// fairness index over per-stream throughput, and the go-back-N
+// retransmission count of faulted runs.
 type MicroResult struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -26,6 +30,9 @@ type MicroResult struct {
 	WallNsPerOp float64 `json:"wall_ns_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	P99NsPerOp  float64 `json:"p99_ns_per_op,omitempty"`
+	Fairness    float64 `json:"fairness,omitempty"`
+	Retransmits int64   `json:"retransmits,omitempty"`
 	Knobs       *Knobs  `json:"knobs,omitempty"`
 }
 
@@ -42,6 +49,8 @@ type Knobs struct {
 	Nodes    int     `json:"nodes"`
 	Threads  int     `json:"threads"`
 	Theta    float64 `json:"theta,omitempty"`
+	NoCC     bool    `json:"no_cc,omitempty"`
+	Streams  int     `json:"streams,omitempty"`
 }
 
 // knobs renders p's effective cluster knob set for one measurement.
@@ -59,6 +68,7 @@ func (p Params) knobs(nodes, threads int) *Knobs {
 		Ship:     ship,
 		Nodes:    nodes,
 		Threads:  threads,
+		NoCC:     p.NoCC,
 	}
 }
 
@@ -98,7 +108,7 @@ func measureAllocs(fn func() int64) (allocsPerOp, bytesPerOp float64) {
 func MicroJSON(p Params) MicroReport {
 	nodes := min(3, p.MaxNodes)
 	rep := MicroReport{
-		Schema:       "darray-bench-micro/v3",
+		Schema:       "darray-bench-micro/v4",
 		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:    runtime.Version(),
 		GOOS:         runtime.GOOS,
@@ -178,6 +188,35 @@ func MicroJSON(p Params) MicroReport {
 			})
 		}
 	}
+	// Multi-stream contention (schema v4): adaptive congestion windows
+	// vs the fixed-depth knobs as concurrent streams share one link.
+	// NsPerOp here is mean per-slab latency; MopsPerSec is aggregate
+	// Mwords/s; the -chaos rows add the retransmission bill under a
+	// seeded 2% loss plan.
+	addContention := func(streams int, noCC, faulted bool) {
+		r := runContention(p, streams, noCC, faulted)
+		mode := "adaptive"
+		if noCC {
+			mode = "fixed"
+		}
+		name := fmt.Sprintf("contention/streams=%d/%s", streams, mode)
+		if faulted {
+			name = fmt.Sprintf("contention-chaos/streams=%d/%s", streams, mode)
+		}
+		k := p.knobs(2, streams)
+		k.NoCC, k.Streams = noCC, streams
+		rep.Results = append(rep.Results, MicroResult{
+			Name: name, NsPerOp: r.meanNs, MopsPerSec: r.mwords,
+			P99NsPerOp: r.p99Ns, Fairness: r.jain, Retransmits: r.retrans,
+			Knobs: k,
+		})
+	}
+	for _, s := range []int{1, 4, 8} {
+		addContention(s, false, false)
+		addContention(s, true, false)
+	}
+	addContention(4, false, true)
+	addContention(4, true, true)
 	return rep
 }
 

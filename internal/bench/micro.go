@@ -54,6 +54,11 @@ type Params struct {
 	// ablation behind `make bench-diff`.
 	NoPool bool
 
+	// NoCC disables congestion-controlled streaming, pinning the bulk
+	// pipeline and Tx doorbells to the static knobs above — the
+	// fixed-window ablation behind the contention experiment.
+	NoCC bool
+
 	// Ship selects the function-shipping mode for every cluster the
 	// experiments build: "" or "auto" (per-chunk estimator), "on", "off".
 	Ship string
@@ -104,6 +109,7 @@ func (p Params) cluster(nodes int) *cluster.Cluster {
 		PrefetchAhead:   p.PrefetchAhead,
 		DisableCoalesce: p.DisableCoalesce,
 		NoPool:          p.NoPool,
+		NoCC:            p.NoCC,
 		Ship:            p.Ship,
 		Tracer:          p.Tracer,
 	})

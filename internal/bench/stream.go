@@ -76,6 +76,7 @@ func runStream(p Params, nodes int, sc streamConfig) streamResult {
 		PrefetchAhead: sc.prefetch,
 		PipelineDepth: sc.pipeline,
 		NoPool:        p.NoPool,
+		NoCC:          p.NoCC,
 	}
 	cfg.DisableCoalesce = !sc.coalesce
 	if p.Faults != nil {

@@ -126,6 +126,35 @@ func TestChaosHotKeyShipModes(t *testing.T) {
 	}
 }
 
+// TestChaosStreamContention drives the congestion-control tentpole's
+// chaos bar: four concurrent bulk streams per node all crossing the
+// same links under the default fault schedule (>=1% loss plus the
+// partition window), once with adaptive windows and once with the
+// fixed-knob NoCC ablation. Adaptive control only reschedules traffic,
+// so both runs must fingerprint bit-identically to the fault-free run
+// (chaos.Run also checks ValidateQuiesced, the pooled-buffer leak
+// count, and goroutine drain after every run).
+func TestChaosStreamContention(t *testing.T) {
+	w := chaos.StreamContention(65536, 4)
+	// The bulk streams pipeline aggressively, so virtual time advances
+	// slower than in the RPC-heavy workloads; pin a partition window
+	// wide enough that the 1<->2 streams are guaranteed to cross it
+	// while staying inside the retransmission budget, so it heals.
+	parts := []fault.Partition{{A: 1, B: 2, Start: 50_000, End: 1_500_000}}
+	cfg := chaos.Config{Seed: 42, Partitions: parts}
+	adaptive := runChaos(t, w, cfg)
+	if adaptive.FaultStats.PartitionBlocks == 0 {
+		t.Errorf("seed %d: the partition window never fired: %+v", adaptive.Seed, adaptive.FaultStats)
+	}
+	fixed := cfg
+	fixed.NoCC = true
+	noCC := runChaos(t, w, fixed)
+	if adaptive.Fingerprint != noCC.Fingerprint {
+		t.Errorf("congestion control changed the result: adaptive %016x, NoCC %016x",
+			adaptive.Fingerprint, noCC.Fingerprint)
+	}
+}
+
 // DefaultFaults must satisfy the acceptance bar by construction.
 func TestChaosDefaultFaultsMeetBar(t *testing.T) {
 	cfg := chaos.DefaultFaults(7, 4)

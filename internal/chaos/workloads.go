@@ -258,6 +258,70 @@ func BulkRange(words int64) Workload {
 	}
 }
 
+// StreamContention is the congestion-control chaos workload: `streams`
+// concurrent bulk streams per node all cross the same links at once —
+// every node's threads stream disjoint SetRange slices into the
+// successor's partition and read them back with GetRange — while the
+// fault plan injects loss, duplication, latency spikes, a partition
+// window, and a stalled node. Each thread fingerprints only its own
+// slice, and the per-(node, thread) digests are folded in fixed order,
+// so the fingerprint depends on (threads, seed) alone: adaptive windows
+// may reschedule the traffic arbitrarily against the fixed-knob
+// ablation without moving it.
+func StreamContention(words int64, streams int) Workload {
+	return Workload{
+		Name: fmt.Sprintf("stream-contention-%d", streams),
+		Run: func(c *cluster.Cluster, threads int, seed int64) (uint64, []*core.Array) {
+			parts := make([][]uint64, c.Nodes())
+			var arrays []*core.Array
+			c.Run(func(n *cluster.Node) {
+				ctx0 := n.NewCtx(0)
+				a := core.New(n, words)
+				if n.ID() == 0 {
+					arrays = []*core.Array{a}
+				}
+				parts[n.ID()] = make([]uint64, streams)
+				c.Barrier(ctx0)
+
+				// Thread s owns slice s of the successor partition: all
+				// streams of this node contend for the same egress link
+				// and the same home runtimes, concurrently.
+				per := words / int64(c.Nodes())
+				slice := per / int64(streams)
+				peer := int64((n.ID() + 1) % c.Nodes())
+				for round := 0; round < 3; round++ {
+					r := round
+					n.RunThreads(streams, func(ctx *cluster.Ctx) {
+						base := peer*per + int64(ctx.TID)*slice
+						src := make([]uint64, slice)
+						for i := range src {
+							src[i] = mix64(uint64(base) + uint64(i) + uint64(seed)*29 + uint64(r)*1009)
+						}
+						a.SetRange(ctx, base, src)
+						dst := make([]uint64, slice)
+						a.GetRange(ctx, base, dst)
+						h := fnvOffset
+						for _, v := range dst {
+							h = fnvMix(h, v)
+						}
+						parts[n.ID()][ctx.TID] = fnvMix(parts[n.ID()][ctx.TID], h)
+					})
+					// Barrier between rounds: the next round overwrites the
+					// same slices, so the read-back must settle first.
+					c.Barrier(ctx0)
+				}
+			})
+			h := fnvOffset
+			for _, node := range parts {
+				for _, p := range node {
+					h = fnvMix(h, p)
+				}
+			}
+			return h, arrays
+		},
+	}
+}
+
 // PageRank runs the real engine on an RMAT graph and fingerprints the
 // ranks quantized to 1e-9: float combine order under Operate is
 // scheduling-dependent, but its noise (~1e-16 relative) sits ten orders

@@ -50,8 +50,18 @@ type Array struct {
 	Metrics Metrics
 
 	// pipeline is the effective bulk-transfer pipeline depth for this
-	// array (>= 1; 1 means serial chunk-at-a-time ranges).
+	// array (>= 1; 1 means serial chunk-at-a-time ranges). With
+	// congestion control active it is the window ceiling.
 	pipeline int
+	// ccOff disables adaptive windows for this array: bulk ranges issue
+	// at the fixed pipeline depth (the pre-CC behaviour, bit-for-bit).
+	// Resolved from Options.NoCC or the cluster-wide Config.NoCC.
+	ccOff bool
+	// ccCwnd/ccSrtt sample the adaptive window (chunks) and smoothed RTT
+	// (virtual ns) at each congestion-controlled completion, telemetry-
+	// gated like the fast-path counters.
+	ccCwnd telemetry.Histogram
+	ccSrtt telemetry.Histogram
 	// shipMode is the resolved function-shipping mode for this array
 	// (shipOff/shipAuto/shipOn; see ship.go).
 	shipMode uint8
@@ -100,8 +110,12 @@ type Metrics struct {
 	// hit/wasted attribution of already-filled lines depends on the
 	// telemetry-gated fast-path check, so treat the split as a
 	// telemetry-mode statistic.
-	PrefetchHits   atomic.Int64 // speculative fills consumed by a demand access
-	PrefetchWasted atomic.Int64 // speculative fills evicted or invalidated untouched
+	PrefetchHits      atomic.Int64 // speculative fills consumed by a demand access
+	PrefetchWasted    atomic.Int64 // speculative fills evicted or invalidated untouched
+	PrefetchThrottled atomic.Int64 // speculative issues withheld for lack of spare window credit
+
+	// Congestion-control accounting (zero under NoCC; see internal/cc).
+	CCBackoffs atomic.Int64 // multiplicative backoffs + timeout-grade resets observed by bulk pipelines
 
 	// Fast-path counters, gated on cluster telemetry (see telOn).
 	Hits        atomic.Int64 // fast-path accesses served from a resident chunk
@@ -151,6 +165,12 @@ type Options struct {
 	// cached-only Operate ("off") regardless of either setting.
 	Ship   string
 	NoShip bool
+
+	// NoCC disables congestion-controlled streaming for this array: bulk
+	// pipelines run at the fixed Pipeline depth and prefetch is capped
+	// only by demand credit, reproducing the static-knob schedule
+	// bit-for-bit. Also implied by the cluster-wide Config.NoCC.
+	NoCC bool
 }
 
 // WithPrefetch returns Options pinning the bulk-transfer pipeline depth
@@ -197,6 +217,9 @@ func New(node *cluster.Node, n int64, opts ...Options) *Array {
 		}
 		if o.NoShip {
 			opt.NoShip = true
+		}
+		if o.NoCC {
+			opt.NoCC = true
 		}
 	}
 	c := node.Cluster()
@@ -277,11 +300,13 @@ func buildShared(c *cluster.Cluster, n int64, opt Options) *shared {
 		ship = shipOff
 	}
 
+	ccOff := opt.NoCC || c.Config().NoCC
+
 	sh.insts = make([]*Array, nodes)
 	for v := int64(0); v < nodes; v++ {
 		node := c.Node(int(v))
 		a := &Array{sh: sh, node: node, model: c.Model(), reg: c.Telemetry(),
-			pipeline: depth, seqTrig: seqTrig, shipMode: ship,
+			pipeline: depth, seqTrig: seqTrig, shipMode: ship, ccOff: ccOff,
 			pool: c.BufPool(), pooled: c.BufPool() != nil,
 			trc: c.Tracer()}
 		lo, hi := sh.starts[v]*cw, sh.starts[v+1]*cw

@@ -53,23 +53,33 @@ func (a *Array) issueRequest(rt *cluster.Runtime, d *dentry) {
 	}
 	a.send(&fMsg{to: home, kind: kind, chunk: d.ci, op: w.op, vt: vt, tc: w.tc})
 	if kind == msgReadReq {
-		a.prefetch(d.ci, w.vt)
+		a.prefetch(w.ctx, d.ci, w.vt)
 	}
 }
 
 // prefetch requests the next few chunks after ci if they are remote and
 // absent. The submissions go to the runtimes owning those chunks.
-func (a *Array) prefetch(ci int64, vt int64) {
-	ahead := a.node.Cluster().Config().PrefetchAhead
-	for k := int64(1); k <= int64(ahead); k++ {
+// Speculative issue spends the requesting thread's spare window credit
+// (window minus in-flight demand): a busy pipeline gets no prefetch at
+// all, so speculation can never queue ahead of demand fetches.
+func (a *Array) prefetch(ctx *cluster.Ctx, ci int64, vt int64) {
+	ahead := int64(a.node.Cluster().Config().PrefetchAhead)
+	issued := int64(0)
+	for k := int64(1); k <= ahead; k++ {
 		cj := ci + k
 		if cj >= a.sh.nChunks {
 			return
 		}
-		if a.homeOfChunk(cj) == a.self() {
+		dst := a.homeOfChunk(cj)
+		if dst == a.self() {
 			continue
 		}
+		if a.spareCredit(ctx, dst) <= issued {
+			a.Metrics.PrefetchThrottled.Add(1)
+			return // spend at most the spare credit, in order
+		}
 		dj := &a.dents[cj]
+		issued++
 		a.rtOf(cj).Submit(func(rt *cluster.Runtime) {
 			a.prefetchChunk(rt, dj, vt)
 		})
@@ -128,6 +138,7 @@ func (a *Array) adoptLine(d *dentry, ln *cacheLine) {
 func (a *Array) handleDataResp(rt *cluster.Runtime, d *dentry, m *fabric.Message, svt int64, tc trace.Ctx) {
 	perm := uint32(m.Val)
 	fill := svt + a.copyCost(len(m.Data))
+	retrans := m.RetransNs // captured: m is recycled before completeWaiters runs
 	a.child(tc, a.self(), trace.StageService, "install", d.ci, svt, fill)
 	a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
 		a.withLine(rt, d, func(rt *cluster.Runtime) {
@@ -137,7 +148,11 @@ func (a *Array) handleDataResp(rt *cluster.Runtime, d *dentry, m *fabric.Message
 			d.pending = false
 			d.tvt = maxi64(d.tvt, fill)
 			a.Metrics.Fills.Add(1)
+			// Waiters completed by this grant inherit its go-back-N delay:
+			// the congestion controller's loss signal rides the Resp.
+			d.retrans = retrans
 			a.completeWaiters(rt, d)
+			d.retrans = 0
 		})
 	})
 }
@@ -153,6 +168,7 @@ func (a *Array) handleOpGrant(rt *cluster.Runtime, d *dentry, m *fabric.Message,
 		// mode, keeping the wire identical to the pre-shipping protocol).
 		d.ship.Store(m.Val != 0)
 	}
+	retrans := m.RetransNs
 	a.recycleMsg(m) // this handler owns m; all fields are consumed above
 	a.demoteLocal(rt, d, permInvalid, func(rt *cluster.Runtime) {
 		a.withLine(rt, d, func(rt *cluster.Runtime) {
@@ -166,7 +182,9 @@ func (a *Array) handleOpGrant(rt *cluster.Runtime, d *dentry, m *fabric.Message,
 			d.state.Store(packState(permOperated, opid))
 			d.pending = false
 			d.tvt = maxi64(d.tvt, svt)
+			d.retrans = retrans
 			a.completeWaiters(rt, d)
+			d.retrans = 0
 		})
 	})
 }

@@ -208,10 +208,12 @@ func (a *Array) slowPath(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, op O
 	rt := a.rtOf(ci)
 	w := a.getWaiter()
 	*w = waiter{ctx: ctx, want: want, op: op, vt: vt, tc: tc}
+	ctx.DemandStart()
 	rt.Submit(func(rt *cluster.Runtime) {
 		a.handleLocal(rt, d, ci, w)
 	})
 	resp := ctx.WaitResp()
+	ctx.DemandEnd()
 	if resp.Err != nil {
 		return false
 	}

@@ -123,10 +123,12 @@ func (a *Array) slowPathPin(ctx *cluster.Ctx, d *dentry, ci int64, want uint8, o
 	}
 	w := a.getWaiter()
 	*w = waiter{ctx: ctx, want: want, op: op, vt: vt, tc: tc}
+	ctx.DemandStart()
 	a.rtOf(ci).Submit(func(rt *cluster.Runtime) {
 		a.handleLocal(rt, d, ci, w)
 	})
 	resp := ctx.WaitResp()
+	ctx.DemandEnd()
 	if resp.Err != nil {
 		return false, true
 	}

@@ -1,16 +1,24 @@
 package core
 
 import (
+	"darray/internal/cc"
 	"darray/internal/cluster"
 	"darray/internal/trace"
 )
 
 // Pipelined bulk transfers (BCL-style aggregation, cf. PAPERS.md Brock
-// et al.): a bulk range operation keeps up to PipelineDepth chunk
-// acquisitions outstanding, so the coherence round trips for chunks
-// i+1..i+K overlap the copy of chunk i instead of serializing one RTT
-// per chunk. Each in-flight acquisition completes through its own
-// cluster.Token, sidestepping the Ctx single-outstanding-request limit.
+// et al.): a bulk range operation keeps multiple chunk acquisitions
+// outstanding, so the coherence round trips for chunks i+1..i+K overlap
+// the copy of chunk i instead of serializing one RTT per chunk. Each
+// in-flight acquisition completes through its own cluster.Token,
+// sidestepping the Ctx single-outstanding-request limit.
+//
+// How many acquisitions stay in flight depends on the mode. With
+// congestion control active (the default) a per-(thread, destination)
+// cc.Controller picks the window from observed virtual-time round
+// trips, and the configured PipelineDepth is only its ceiling; under
+// the NoCC ablation the fixed depth itself is the window, reproducing
+// the static-knob issue schedule bit-for-bit.
 
 // chunkReq is one in-flight chunk acquisition of a bulk pipeline.
 type chunkReq struct {
@@ -18,6 +26,13 @@ type chunkReq struct {
 	d   *dentry
 	tok *cluster.Token // slow-path completion; nil when pin fast-granted
 	pin *Pin           // non-nil when the lock-free fast path granted
+
+	// Congestion-control bookkeeping, set by the pipeline when the
+	// acquisition went remote under an active controller: the
+	// destination's controller, and the virtual time the request was
+	// issued (completionVT - issueVT is the RTT sample).
+	ctrl    *cc.Controller
+	issueVT int64
 }
 
 // issueChunkInto starts acquiring a pin on chunk ci without blocking:
@@ -59,6 +74,7 @@ func (a *Array) issueChunkInto(ctx *cluster.Ctx, r *chunkReq, ci int64, want uin
 		tc = a.trc.Child(tc, int32(a.self()), trace.StageService, "submit", ci, ctx.Clock.Now(), vt)
 	}
 	r.tok = ctx.AcquireToken()
+	ctx.DemandStart()
 	w := a.getWaiter()
 	*w = waiter{ctx: ctx, tok: r.tok, want: want, op: op, vt: vt, tc: tc}
 	a.rtOf(ci).Submit(func(rt *cluster.Runtime) {
@@ -78,6 +94,7 @@ func (a *Array) awaitChunk(ctx *cluster.Ctx, r *chunkReq, want uint8, op OpID, f
 		return nil // issued after the cluster already failed
 	}
 	resp := r.tok.Wait()
+	ctx.DemandEnd()
 	if resp.Err != nil {
 		// Do not recycle the token: a failed wait may leave a late
 		// completion in its channel.
@@ -87,6 +104,19 @@ func (a *Array) awaitChunk(ctx *cluster.Ctx, r *chunkReq, want uint8, op OpID, f
 	ctx.Clock.AdvanceTo(resp.VT)
 	ctx.RecycleToken(r.tok)
 	r.tok = nil
+	if r.ctrl != nil {
+		// Feed the completed round trip to the destination's controller:
+		// the sample carries both the queueing delay (resp.VT - issueVT)
+		// and the fabric's go-back-N share (resp.RetransNs).
+		ev := r.ctrl.OnAck(resp.VT, resp.VT-r.issueVT, resp.RetransNs)
+		if ev != cc.EvGrow {
+			a.Metrics.CCBackoffs.Add(1)
+		}
+		if a.telOn() {
+			a.ccCwnd.Observe(int64(r.ctrl.Window(a.pipeline)))
+			a.ccSrtt.Observe(r.ctrl.SrttNs())
+		}
+	}
 	if resp.Val == 1 {
 		// The runtime took the reference on our behalf.
 		if a.telOn() {
@@ -97,11 +127,18 @@ func (a *Array) awaitChunk(ctx *cluster.Ctx, r *chunkReq, want uint8, op OpID, f
 	return a.pin(ctx, r.ci*a.sh.chunkWords, want, op, tc)
 }
 
-// rangePipeline pins chunks [ciLo, ciHi] in order with up to
-// a.pipeline acquisitions outstanding, calling process for each pinned
-// chunk and unpinning it. The next acquisition is issued before the
-// current chunk is processed, so the copy overlaps the fetch. Stops
-// early (without process) once the cluster fails.
+// pipeHook, when non-nil, observes every pipeline issue ('i') and await
+// ('a') in program order — test instrumentation locking the NoCC
+// schedule bit-for-bit to the fixed-depth behaviour. Set only from
+// single-threaded tests before any bulk call.
+var pipeHook func(op byte, ci int64)
+
+// rangePipeline pins chunks [ciLo, ciHi] in order with up to depth
+// acquisitions outstanding — the adaptive congestion window when
+// control is active, the fixed a.pipeline otherwise — calling process
+// for each pinned chunk and unpinning it. The next acquisitions are
+// issued before the current chunk is processed, so the copy overlaps
+// the fetch. Stops early (without process) once the cluster fails.
 func (a *Array) rangePipeline(ctx *cluster.Ctx, ciLo, ciHi int64, want uint8, op OpID, process func(p *Pin), tc trace.Ctx) {
 	var fn func(acc, operand uint64) uint64
 	if want == wantPinOperate {
@@ -113,20 +150,67 @@ func (a *Array) rangePipeline(ctx *cluster.Ctx, ciLo, ciHi int64, want uint8, op
 	}
 	// Fixed ring of request slots: slot (ci-ciLo)%depth is always free
 	// again by the time ci needs it, because completions are consumed in
-	// issue order.
+	// issue order and at most depth acquisitions are ever outstanding.
 	reqs := make([]chunkReq, depth)
-	next := ciLo
-	for i := int64(0); i < depth; i++ {
-		a.issueChunkInto(ctx, &reqs[i], next, want, op, fn, tc)
-		next++
+	adaptive := !a.ccOff && ctx.CCOn()
+	// infl[dst] counts this range's slow-path acquisitions in flight
+	// toward dst; the controller's window caps it per destination.
+	var infl []int64
+	if adaptive {
+		infl = make([]int64, ctx.Node.Cluster().Nodes())
 	}
-	for ci := ciLo; ci <= ciHi; ci++ {
-		r := &reqs[(ci-ciLo)%depth]
-		p := a.awaitChunk(ctx, r, want, op, fn, tc)
-		if next <= ciHi {
+	self := a.self()
+	next := ciLo
+	awaited := ciLo
+	// blockedVT, when >= 0, is the virtual time since which the window
+	// (not the ring) has withheld the next issue — surfaced as a "cc"
+	// stage span so the critical-path report separates pacing from wire.
+	blockedVT := int64(-1)
+	issue := func() {
+		for next <= ciHi && next-awaited < depth {
+			dst := a.homeOfChunk(next)
+			var ctrl *cc.Controller
+			if adaptive && dst != self {
+				ctrl = ctx.CC(dst)
+				if infl[dst] >= int64(ctrl.Window(a.pipeline)) {
+					if blockedVT < 0 {
+						blockedVT = ctx.Clock.Now()
+					}
+					return // window full toward dst; issue stays in order
+				}
+			}
+			if blockedVT >= 0 {
+				if tc.Valid() && a.traceOn() {
+					a.child(tc, self, trace.StageCC, "cwnd-wait", next, blockedVT, ctx.Clock.Now())
+				}
+				blockedVT = -1
+			}
+			r := &reqs[(next-ciLo)%depth]
+			if pipeHook != nil {
+				pipeHook('i', next)
+			}
 			a.issueChunkInto(ctx, r, next, want, op, fn, tc)
+			if r.tok != nil && ctrl != nil {
+				r.ctrl = ctrl
+				r.issueVT = ctx.Clock.Now()
+				infl[dst]++
+			}
 			next++
 		}
+	}
+	issue()
+	for ci := ciLo; ci <= ciHi; ci++ {
+		r := &reqs[(ci-ciLo)%depth]
+		ctrl := r.ctrl
+		if pipeHook != nil {
+			pipeHook('a', ci)
+		}
+		p := a.awaitChunk(ctx, r, want, op, fn, tc)
+		awaited++
+		if ctrl != nil {
+			infl[a.homeOfChunk(ci)]--
+		}
+		issue()
 		if p == nil {
 			return // cluster failed; remaining tokens die with it
 		}
@@ -171,8 +255,16 @@ func (a *Array) noteSeq(ctx *cluster.Ctx, ci int64) {
 // prefetchChunk); the fast path only pays them after the detector has
 // already confirmed a streaming pattern.
 func (a *Array) speculate(ctx *cluster.Ctx, ci int64) {
-	if ci >= a.sh.nChunks || a.homeOfChunk(ci) == a.self() {
+	if ci >= a.sh.nChunks {
 		return
+	}
+	dst := a.homeOfChunk(ci)
+	if dst == a.self() {
+		return
+	}
+	if a.spareCredit(ctx, dst) < 1 {
+		a.Metrics.PrefetchThrottled.Add(1)
+		return // demand traffic already owns the window
 	}
 	d := &a.dents[ci]
 	if statePerm(d.state.Load()) != permInvalid {
@@ -182,6 +274,21 @@ func (a *Array) speculate(ctx *cluster.Ctx, ci int64) {
 	a.rtOf(ci).Submit(func(rt *cluster.Runtime) {
 		a.prefetchChunk(rt, d, vt)
 	})
+}
+
+// spareCredit returns how many speculative issues toward dst the
+// issuing thread's window has room for beyond its in-flight demand
+// requests: window(dst) - demand. Under NoCC the window is the fixed
+// pipeline depth, so prefetch still yields to a saturated pipeline —
+// speculative traffic must never queue ahead of demand fetches.
+func (a *Array) spareCredit(ctx *cluster.Ctx, dst int) int64 {
+	win := int64(a.pipeline)
+	if !a.ccOff {
+		if c := ctx.CC(dst); c != nil {
+			win = int64(c.Window(a.pipeline))
+		}
+	}
+	return win - ctx.DemandInflight()
 }
 
 // notePrefetchHit attributes a fast-path hit to a speculative fill.

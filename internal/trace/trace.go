@@ -58,11 +58,17 @@ const (
 	// against the authoritative backing at the chunk's home, and the
 	// requester-side submission that routed it there.
 	StageShip
+	// StageCC is time a bulk pipeline spent blocked on its congestion
+	// window: the next chunk was ready to issue but the adaptive
+	// controller's cwnd was full. Distinct from StageQueue so the
+	// critical-path report separates self-imposed pacing from fabric
+	// queueing.
+	StageCC
 
 	numStages
 )
 
-var stageNames = [numStages]string{"op", "queue", "wire", "retransmit", "service", "fanout", "ship"}
+var stageNames = [numStages]string{"op", "queue", "wire", "retransmit", "service", "fanout", "ship", "cc"}
 
 // String returns the stage's stable name.
 func (s Stage) String() string {
